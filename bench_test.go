@@ -1,0 +1,517 @@
+package repro
+
+// The benchmark harness: one benchmark per paper table and figure (the
+// cost of regenerating that artifact from an analyzed corpus), the
+// end-to-end stages (generate -> filter -> analyze), and the ablations
+// called out in DESIGN.md §5.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"encoding/csv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"syriafilter/internal/bittorrent"
+	"syriafilter/internal/core"
+	"syriafilter/internal/geoip"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/pipeline"
+	"syriafilter/internal/proxysim"
+	"syriafilter/internal/stats"
+	"syriafilter/internal/strmatch"
+	"syriafilter/internal/synth"
+)
+
+const benchCorpusSize = 200_000
+
+type benchFixture struct {
+	gen      *synth.Generator
+	analyzer *core.Analyzer
+	records  []logfmt.Record
+}
+
+var (
+	benchOnce sync.Once
+	benchFix  *benchFixture
+)
+
+func fixture(b *testing.B) *benchFixture {
+	b.Helper()
+	benchOnce.Do(func() {
+		gen, err := synth.New(synth.Config{Seed: 99, TotalRequests: benchCorpusSize})
+		if err != nil {
+			panic(err)
+		}
+		cluster := proxysim.NewCluster(proxysim.Config{
+			Seed: 99, Engine: gen.Engine(), Consensus: gen.Consensus(),
+		})
+		an := core.NewAnalyzer(core.Options{
+			Categories: gen.CategoryDB(),
+			Consensus:  gen.Consensus(),
+			TitleDB:    bittorrent.NewTitleDB(),
+		})
+		var recs []logfmt.Record
+		var rec logfmt.Record
+		for {
+			req, ok := gen.Next()
+			if !ok {
+				break
+			}
+			cluster.Process(&req, &rec)
+			an.Observe(&rec)
+			recs = append(recs, rec)
+		}
+		benchFix = &benchFixture{gen: gen, analyzer: an, records: recs}
+	})
+	return benchFix
+}
+
+func aug(day, hour int) int64 {
+	return time.Date(2011, 8, day, hour, 0, 0, 0, time.UTC).Unix()
+}
+
+// --- End-to-end stages ---
+
+func BenchmarkGenerateAndFilter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen, err := synth.New(synth.Config{Seed: uint64(i + 1), TotalRequests: 50_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cluster := proxysim.NewCluster(proxysim.Config{
+			Seed: uint64(i + 1), Engine: gen.Engine(), Consensus: gen.Consensus(),
+		})
+		var rec logfmt.Record
+		n := 0
+		for {
+			req, ok := gen.Next()
+			if !ok {
+				break
+			}
+			cluster.Process(&req, &rec)
+			n++
+		}
+		b.SetBytes(int64(n))
+	}
+}
+
+func BenchmarkAnalyzerObserve(b *testing.B) {
+	f := fixture(b)
+	an := core.NewAnalyzer(core.Options{
+		Categories: f.gen.CategoryDB(),
+		Consensus:  f.gen.Consensus(),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.Observe(&f.records[i%len(f.records)])
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.analyzer.Table1(); len(got) != 4 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+func BenchmarkTable3Traffic(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t3 := f.analyzer.Table3()
+		if t3[core.DFull].Total == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable4TopDomains(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := f.analyzer.TopDomains(10)
+		if len(a) == 0 || len(c) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable5PeakDomains(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.analyzer.Table5(aug(3, 6), aug(3, 12), 2*3600, 10); len(got) != 3 {
+			b.Fatal("bad windows")
+		}
+	}
+}
+
+func BenchmarkTable6Similarity(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := f.analyzer.ProxySimilarity(); len(m) != 7 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+func BenchmarkTable7Redirects(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.RedirectHosts(5)
+	}
+}
+
+func BenchmarkTable8DomainDiscovery(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := f.analyzer.DiscoverFilters(0)
+		if len(d.Domains) == 0 {
+			b.Fatal("no domains")
+		}
+	}
+}
+
+func BenchmarkTable9Categories(b *testing.B) {
+	f := fixture(b)
+	d := f.analyzer.DiscoverFilters(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.analyzer.Table9(d); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable10Keywords(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := f.analyzer.DiscoverFilters(0)
+		if len(d.Keywords) == 0 {
+			b.Fatal("no keywords")
+		}
+	}
+}
+
+func BenchmarkTable11Countries(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.analyzer.CountryRatios(); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable12Subnets(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.IsraeliSubnets()
+	}
+}
+
+func BenchmarkTable13OSN(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.analyzer.SocialNetworks(); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable14FBPages(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.FacebookPages()
+	}
+}
+
+func BenchmarkTable15Plugins(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.SocialPlugins(10)
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFig1Ports(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := f.analyzer.PortDistribution()
+		if len(a) == 0 || len(c) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig2PowerLaw(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := f.analyzer.DomainFreqDistribution(); len(s) != 3 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFig3Categories(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := f.analyzer.CensoredCategories(false); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig4Users(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := f.analyzer.UserAnalysis(); rep.TotalUsers == 0 {
+			b.Fatal("no users")
+		}
+	}
+}
+
+func BenchmarkFig5TimeSeries(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := f.analyzer.TimeSeries(aug(1, 0), aug(7, 0)); len(s) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig6RCV(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := f.analyzer.RCV(aug(3, 0), aug(4, 0)); len(pts) != 288 {
+			b.Fatal("bad points")
+		}
+	}
+}
+
+func BenchmarkFig7ProxyLoad(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.ProxyLoads()
+		f.analyzer.ProxyShareSeries(aug(3, 0), aug(5, 0), true)
+	}
+}
+
+func BenchmarkFig8Tor(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.TorAnalysis()
+		f.analyzer.TorHourly(aug(1, 0), aug(7, 0))
+	}
+}
+
+func BenchmarkFig9RFilter(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.RFilter(aug(1, 0), aug(7, 0))
+	}
+}
+
+func BenchmarkFig10Anonymizers(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := f.analyzer.Anonymizers(); rep.Hosts == 0 {
+			b.Fatal("no hosts")
+		}
+	}
+}
+
+func BenchmarkHTTPS(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := f.analyzer.HTTPSAnalysis(); rep.Total == 0 {
+			b.Fatal("no https")
+		}
+	}
+}
+
+func BenchmarkBitTorrent(b *testing.B) {
+	f := fixture(b)
+	kws := []string{"proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := f.analyzer.BitTorrent(kws); rep.Announces == 0 {
+			b.Fatal("no announces")
+		}
+	}
+}
+
+func BenchmarkGoogleCache(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.analyzer.GoogleCache()
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+var ablationText = "www.facebook.com/plugins/like.php?href=http%3A%2F%2Fsite-042.example.com&layout=standard&app_id=123456"
+
+func BenchmarkAblationKeywordMatchAhoCorasick(b *testing.B) {
+	ac := strmatch.NewAhoCorasick([]string{"proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf"})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ac.Contains(ablationText)
+	}
+}
+
+func BenchmarkAblationKeywordMatchNaive(b *testing.B) {
+	pats := []string{"proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf"}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		strmatch.ContainsNaive(pats, ablationText)
+	}
+}
+
+func BenchmarkAblationTopKSketch(b *testing.B) {
+	f := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := stats.NewTopK(256)
+		for j := range f.records {
+			tk.Add(f.records[j].Host)
+		}
+		if len(tk.Top(10)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkAblationTopKExact(b *testing.B) {
+	f := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := stats.NewCounter()
+		for j := range f.records {
+			c.Add(f.records[j].Host)
+		}
+		if len(c.Top(10)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func benchPipeline(b *testing.B, workers int) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, err := pipeline.Run(pipeline.NewSliceScanner(f.records), workers,
+			func() *core.Analyzer {
+				return core.NewAnalyzer(core.Options{
+					Categories: f.gen.CategoryDB(),
+					Consensus:  f.gen.Consensus(),
+				})
+			},
+			func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) },
+			func(dst, src *core.Analyzer) { dst.Merge(src) },
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if acc.Dataset(core.DFull).Total == 0 {
+			b.Fatal("empty")
+		}
+	}
+	b.SetBytes(int64(len(f.records)))
+}
+
+func BenchmarkAblationPipelineSerial(b *testing.B)   { benchPipeline(b, 1) }
+func BenchmarkAblationPipelineParallel(b *testing.B) { benchPipeline(b, 0) }
+
+func BenchmarkAblationGeoIPBinary(b *testing.B) {
+	db := geoip.SyriaEra()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(0xd4960701) // 212.150.7.1
+	}
+}
+
+func BenchmarkAblationGeoIPLinear(b *testing.B) {
+	db := geoip.SyriaEra()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.LookupLinear(0xd4960701)
+	}
+}
+
+func BenchmarkAblationParseFast(b *testing.B) {
+	f := fixture(b)
+	var sb strings.Builder
+	w := logfmt.NewWriter(&sb)
+	for i := 0; i < 1000; i++ {
+		_ = w.Write(&f.records[i])
+	}
+	_ = w.Flush()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var rec logfmt.Record
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := logfmt.ParseLine(lines[i%len(lines)], &rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParseEncodingCSV(b *testing.B) {
+	f := fixture(b)
+	var sb strings.Builder
+	w := logfmt.NewWriter(&sb)
+	for i := 0; i < 1000; i++ {
+		_ = w.Write(&f.records[i])
+	}
+	_ = w.Flush()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := csv.NewReader(strings.NewReader(lines[i%len(lines)]))
+		if _, err := r.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command sgproxy runs the live filtering proxy: an explicit HTTP proxy
+// (plus CONNECT tunneling) enforcing the reproduced Syrian ruleset, with
+// Blue Coat-format logging to stdout or a file.
+//
+// Point a client at it to experience the filtering behaviour:
+//
+//	sgproxy -listen 127.0.0.1:3128 &
+//	curl -x 127.0.0.1:3128 http://www.metacafe.com/      # 403 policy_denied
+//	curl -x 127.0.0.1:3128 http://example.com/proxy.php  # 403 (keyword)
+//	curl -x 127.0.0.1:3128 http://example.com/           # forwarded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/policy"
+	"syriafilter/internal/proxysim"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:3128", "listen address")
+		sg       = flag.Int("sg", 42, "proxy identity (42..48), stamped into logs")
+		redirect = flag.String("redirect", "http://127.0.0.1/blocked", "policy_redirect destination")
+		logPath  = flag.String("log", "-", "access log path ('-' = stdout)")
+	)
+	flag.Parse()
+
+	out := os.Stdout
+	if *logPath != "-" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := logfmt.NewWriter(out)
+	if err := w.WriteHeader(); err != nil {
+		fatal(err)
+	}
+	var mu sync.Mutex
+
+	srv := &proxysim.Server{
+		Engine:      policy.Compile(policy.PaperRuleset()),
+		SG:          *sg,
+		RedirectURL: *redirect,
+		LogFunc: func(rec *logfmt.Record) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := w.Write(rec); err == nil {
+				_ = w.Flush()
+			}
+		},
+	}
+	fmt.Fprintf(os.Stderr, "sgproxy: SG-%d filtering proxy on %s\n", *sg, *listen)
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sgproxy:", err)
+	os.Exit(1)
+}

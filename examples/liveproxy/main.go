@@ -1,0 +1,92 @@
+// Live proxy: run the SG-9000-style filtering proxy over real sockets and
+// exercise it with an HTTP client — allowed fetch, keyword denial, domain
+// denial, targeted-page redirect, and a CONNECT tunnel — printing the Blue
+// Coat log line each request produces.
+//
+//	go run ./examples/liveproxy
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/policy"
+	"syriafilter/internal/proxysim"
+)
+
+func main() {
+	// An origin server standing in for the open Internet.
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "content of %s", r.URL.Path)
+	}))
+	defer origin.Close()
+
+	// The filtering proxy, logging every decision as a Blue Coat record.
+	var sb strings.Builder
+	logw := logfmt.NewWriter(&sb)
+	srv := &proxysim.Server{
+		Engine:      policy.Compile(policy.PaperRuleset()),
+		SG:          42,
+		RedirectURL: origin.URL + "/blocked-notice",
+		LogFunc: func(rec *logfmt.Record) {
+			_ = logw.Write(rec)
+			_ = logw.Flush()
+		},
+	}
+	proxy := httptest.NewServer(srv)
+	defer proxy.Close()
+
+	proxyURL, err := url.Parse(proxy.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{
+		Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+
+	originHost := strings.TrimPrefix(origin.URL, "http://")
+	demo := []struct {
+		name string
+		url  string
+	}{
+		{"ordinary page (allowed)", "http://" + originHost + "/news/today"},
+		{"keyword 'proxy' in path (policy_denied)", "http://" + originHost + "/cgi/proxy.php?u=x"},
+		{"blocked domain metacafe.com (policy_denied)", "http://www.metacafe.com/watch/42/"},
+		{"blocked TLD .il (policy_denied)", "http://www.panet.co.il/"},
+		{"targeted Facebook page (policy_redirect)", "http://www.facebook.com/Syrian.Revolution?ref=ts"},
+		{"same page via ajax variant (slips through)", "http://www.facebook.com/Syrian.Revolution?ref=ts&__a=11&ajaxpipe=1&quickling[version]=414343%3B0"},
+	}
+	for _, dc := range demo {
+		resp, err := client.Get(dc.url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		verdict := resp.Header.Get("X-Exception-Id")
+		if verdict == "" {
+			verdict = "allowed"
+		}
+		fmt.Printf("%-46s -> HTTP %d (%s)\n", dc.name, resp.StatusCode, verdict)
+	}
+
+	counts := srv.Counts()
+	fmt.Printf("\nproxy counters: %d requests, %d censored (%d redirects)\n",
+		counts.Total, counts.Censored, counts.Redirect)
+	fmt.Println("\naccess log (Blue Coat 26-field format):")
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if len(line) > 120 {
+			line = line[:117] + "..."
+		}
+		fmt.Println(" ", line)
+	}
+}

@@ -1,0 +1,185 @@
+package repro
+
+// End-to-end integration tests across package boundaries: the full
+// generate -> filter -> serialize-to-disk -> parse -> parallel-analyze
+// path, plus failure injection on the on-disk corpus.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"syriafilter/internal/core"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/pipeline"
+	"syriafilter/internal/proxysim"
+	"syriafilter/internal/synth"
+)
+
+// buildCorpusFiles writes a small corpus split per proxy into dir and
+// returns the generator plus the in-memory analyzer reference.
+func buildCorpusFiles(t *testing.T, dir string, seed uint64, n int) (*synth.Generator, *core.Analyzer, []string) {
+	t.Helper()
+	gen, err := synth.New(synth.Config{Seed: seed, TotalRequests: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proxysim.NewCluster(proxysim.Config{
+		Seed: seed, Engine: gen.Engine(), Consensus: gen.Consensus(),
+	})
+	ref := core.NewAnalyzer(core.Options{
+		Categories: gen.CategoryDB(), Consensus: gen.Consensus(),
+	})
+
+	writers := map[int]*logfmt.Writer{}
+	var paths []string
+	for sg := logfmt.FirstProxy; sg <= logfmt.LastProxy; sg++ {
+		path := filepath.Join(dir, "sg.csv")
+		path = filepath.Join(dir, "sg-"+string(rune('0'+sg/10))+string(rune('0'+sg%10))+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		w := logfmt.NewWriter(f)
+		if err := w.WriteHeader(); err != nil {
+			t.Fatal(err)
+		}
+		writers[sg] = w
+		paths = append(paths, path)
+	}
+
+	var rec logfmt.Record
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		cluster.Process(&req, &rec)
+		ref.Observe(&rec)
+		if err := writers[rec.Proxy()].Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range writers {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return gen, ref, paths
+}
+
+func analyzeFiles(t *testing.T, gen *synth.Generator, paths []string, workers int) *core.Analyzer {
+	t.Helper()
+	var scanners []pipeline.Scanner
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		scanners = append(scanners, logfmt.NewReader(f))
+	}
+	an, err := pipeline.Run(pipeline.NewMultiScanner(scanners...), workers,
+		func() *core.Analyzer {
+			return core.NewAnalyzer(core.Options{
+				Categories: gen.CategoryDB(), Consensus: gen.Consensus(),
+			})
+		},
+		func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) },
+		func(dst, src *core.Analyzer) { dst.Merge(src) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// The corpus must survive a full disk round trip: serializing all records
+// and re-analyzing them in parallel yields the same results as analyzing
+// the live stream.
+func TestFileRoundTripMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	gen, ref, paths := buildCorpusFiles(t, dir, 77, 60000)
+	got := analyzeFiles(t, gen, paths, 4)
+
+	if got.Dataset(core.DFull) != ref.Dataset(core.DFull) {
+		t.Errorf("Dfull differs:\n got %+v\nwant %+v",
+			got.Dataset(core.DFull), ref.Dataset(core.DFull))
+	}
+	ga, gc := got.TopDomains(10)
+	wa, wc := ref.TopDomains(10)
+	for i := range wa {
+		if ga[i] != wa[i] {
+			t.Errorf("allowed[%d]: %+v != %+v", i, ga[i], wa[i])
+		}
+	}
+	for i := range wc {
+		if gc[i] != wc[i] {
+			t.Errorf("censored[%d]: %+v != %+v", i, gc[i], wc[i])
+		}
+	}
+	if got.TorAnalysis() != ref.TorAnalysis() {
+		t.Error("Tor reports differ after round trip")
+	}
+	gd := got.DiscoverFilters(0)
+	rd := ref.DiscoverFilters(0)
+	if len(gd.Keywords) != len(rd.Keywords) {
+		t.Fatalf("keyword sets differ: %v vs %v", gd.Keywords, rd.Keywords)
+	}
+	for i := range rd.Keywords {
+		if gd.Keywords[i].Keyword != rd.Keywords[i].Keyword {
+			t.Errorf("keyword[%d]: %q != %q", i, gd.Keywords[i].Keyword, rd.Keywords[i].Keyword)
+		}
+	}
+}
+
+// Failure injection: corrupting lines in one proxy file must not break the
+// analysis — the readers skip malformed lines and everything else is
+// still counted.
+func TestCorruptedCorpusIsTolerated(t *testing.T) {
+	dir := t.TempDir()
+	gen, ref, paths := buildCorpusFiles(t, dir, 78, 40000)
+
+	// Vandalize one file: truncate its final line and inject garbage.
+	data, err := os.ReadFile(paths[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = data[:len(data)-40] // truncate mid-record
+	data = append(data, []byte("\ngarbage,line,here\nnot,a,record\n")...)
+	if err := os.WriteFile(paths[2], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := analyzeFiles(t, gen, paths, 2)
+	gotTotal := got.Dataset(core.DFull).Total
+	refTotal := ref.Dataset(core.DFull).Total
+	if gotTotal == 0 || gotTotal >= refTotal {
+		t.Fatalf("corrupted corpus total %d vs reference %d", gotTotal, refTotal)
+	}
+	if refTotal-gotTotal > 3 {
+		t.Errorf("lost %d records to a 1-line corruption", refTotal-gotTotal)
+	}
+}
+
+// Determinism across the whole stack: two independent builds of the same
+// seed produce byte-identical corpora on disk.
+func TestEndToEndDeterminism(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	_, _, pathsA := buildCorpusFiles(t, dirA, 123, 30000)
+	_, _, pathsB := buildCorpusFiles(t, dirB, 123, 30000)
+	for i := range pathsA {
+		a, err := os.ReadFile(pathsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pathsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("file %s differs between same-seed builds", filepath.Base(pathsA[i]))
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"sort"
+
+	"syriafilter/internal/bittorrent"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+)
+
+// --- Figure 1 ---
+
+// PortCount is one bar of Fig 1.
+type PortCount struct {
+	Port  uint16
+	Count uint64
+}
+
+// PortDistribution returns the allowed and censored per-port request
+// counts, descending by count.
+func (a *Analyzer) PortDistribution() (allowed, censored []PortCount) {
+	return sortPorts(a.portAllowed), sortPorts(a.portCensored)
+}
+
+func sortPorts(m map[uint16]uint64) []PortCount {
+	out := make([]PortCount, 0, len(m))
+	for p, n := range m {
+		out = append(out, PortCount{Port: p, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// --- Figure 2 ---
+
+// FreqSeries is one curve of Fig 2: (requests-per-domain, #domains) pairs
+// plus the fitted power-law exponent.
+type FreqSeries struct {
+	Class  string
+	Points [][2]uint64 // (request count, number of domains with that count)
+	Alpha  float64     // fitted exponent (0 if the fit failed)
+}
+
+// DomainFreqDistribution returns the Fig 2 curves for allowed, denied
+// (errors) and censored traffic.
+func (a *Analyzer) DomainFreqDistribution() []FreqSeries {
+	mk := func(name string, c *stats.Counter) FreqSeries {
+		counts := make([]uint64, 0, c.Len())
+		samples := make([]float64, 0, c.Len())
+		c.Each(func(_ string, n uint64) {
+			counts = append(counts, n)
+			samples = append(samples, float64(n))
+		})
+		fs := FreqSeries{Class: name, Points: stats.FreqOfFreq(counts)}
+		if fit, err := stats.FitPowerLaw(samples, 1); err == nil {
+			fs.Alpha = fit.Alpha
+		}
+		return fs
+	}
+	return []FreqSeries{
+		mk("allowed", a.domAllowed),
+		mk("denied", a.domDenied),
+		mk("censored", a.domCensored),
+	}
+}
+
+// --- Figure 3 ---
+
+// CategoryShare is one bar of Fig 3.
+type CategoryShare struct {
+	Category string
+	Count    uint64
+	Share    float64
+}
+
+// CensoredCategories returns the category distribution of censored
+// traffic. sample selects the Dsample-based variant the paper plots.
+func (a *Analyzer) CensoredCategories(sample bool) []CategoryShare {
+	c := a.catCensoredFull
+	if sample {
+		c = a.catCensoredSample
+	}
+	total := c.Total()
+	entries := c.Top(0)
+	out := make([]CategoryShare, len(entries))
+	for i, e := range entries {
+		out[i] = CategoryShare{Category: e.Key, Count: e.Count, Share: frac(e.Count, total)}
+	}
+	return out
+}
+
+// --- Figure 4 ---
+
+// UserReport is Fig 4 plus the §4 headline user numbers.
+type UserReport struct {
+	TotalUsers    int
+	CensoredUsers int
+	// CensoredPerUser is the histogram of censored-request counts among
+	// censored users (Fig 4a), bucket i = i+1 censored requests, last
+	// bucket is ">= len".
+	CensoredPerUser []uint64
+	// ActivityCensored / ActivityOthers are the request-count CDFs of
+	// Fig 4b.
+	ActivityCensored *stats.CDF
+	ActivityOthers   *stats.CDF
+	// ShareActiveCensored / ShareActiveOthers report P(requests > 100),
+	// the paper's 50%-vs-5% contrast.
+	ShareActiveCensored float64
+	ShareActiveOthers   float64
+	// MeanActivityCensored / MeanActivityOthers give the scale-free
+	// version of the same contrast for scaled-down corpora.
+	MeanActivityCensored float64
+	MeanActivityOthers   float64
+}
+
+// UserAnalysis computes the Duser-based per-user view.
+func (a *Analyzer) UserAnalysis() UserReport {
+	rep := UserReport{CensoredPerUser: make([]uint64, 16)}
+	var actC, actO []float64
+	for _, us := range a.users {
+		rep.TotalUsers++
+		if us.Censored > 0 {
+			rep.CensoredUsers++
+			bucket := int(us.Censored) - 1
+			if bucket >= len(rep.CensoredPerUser) {
+				bucket = len(rep.CensoredPerUser) - 1
+			}
+			rep.CensoredPerUser[bucket]++
+			actC = append(actC, float64(us.Total))
+		} else {
+			actO = append(actO, float64(us.Total))
+		}
+	}
+	rep.ActivityCensored = stats.NewCDF(actC)
+	rep.ActivityOthers = stats.NewCDF(actO)
+	rep.ShareActiveCensored = 1 - rep.ActivityCensored.P(100)
+	rep.ShareActiveOthers = 1 - rep.ActivityOthers.P(100)
+	rep.MeanActivityCensored = mean(actC)
+	rep.MeanActivityOthers = mean(actO)
+	return rep
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// --- Figures 5 and 6 ---
+
+// SeriesPoint is one 5-minute bucket of Fig 5.
+type SeriesPoint struct {
+	Unix     int64
+	Allowed  uint64
+	Censored uint64
+}
+
+// TimeSeries returns the censored/allowed series over [fromUnix, toUnix),
+// with empty slots materialized as zeros.
+func (a *Analyzer) TimeSeries(fromUnix, toUnix int64) []SeriesPoint {
+	var out []SeriesPoint
+	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
+		slot := t / SlotSeconds
+		out = append(out, SeriesPoint{
+			Unix:     t,
+			Allowed:  a.slotAllowed[slot],
+			Censored: a.slotCensored[slot],
+		})
+	}
+	return out
+}
+
+// RCVPoint is one Fig 6 sample: the Relative Censored traffic Volume.
+type RCVPoint struct {
+	Unix int64
+	RCV  float64 // censored / total in the slot (0 when the slot is empty)
+}
+
+// RCV computes Fig 6 over [fromUnix, toUnix).
+func (a *Analyzer) RCV(fromUnix, toUnix int64) []RCVPoint {
+	var out []RCVPoint
+	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
+		slot := t / SlotSeconds
+		cens := a.slotCensored[slot]
+		total := cens + a.slotAllowed[slot]
+		p := RCVPoint{Unix: t}
+		if total > 0 {
+			p.RCV = float64(cens) / float64(total)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// --- Figure 7 ---
+
+// ProxyLoad is the Fig 7 summary for one proxy.
+type ProxyLoad struct {
+	SG       int
+	Total    uint64
+	Censored uint64
+}
+
+// ProxyLoads returns per-proxy totals (SG-42..48 order).
+func (a *Analyzer) ProxyLoads() []ProxyLoad {
+	out := make([]ProxyLoad, logfmt.NumProxies)
+	for i := range out {
+		out[i] = ProxyLoad{
+			SG:       logfmt.FirstProxy + i,
+			Total:    a.proxyTotal[i],
+			Censored: a.proxyCensored[i],
+		}
+	}
+	return out
+}
+
+// ProxyShareSeries returns, for each 5-minute slot in [from, to), each
+// proxy's share of (total | censored) traffic — the stacked bands of
+// Fig 7.
+func (a *Analyzer) ProxyShareSeries(fromUnix, toUnix int64, censored bool) []([7]float64) {
+	src := a.proxySlotTotal
+	if censored {
+		src = a.proxySlotCensored
+	}
+	var out [][7]float64
+	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
+		slot := t / SlotSeconds
+		var row [7]float64
+		var total uint64
+		for i := 0; i < logfmt.NumProxies; i++ {
+			total += src[i][slot]
+		}
+		if total > 0 {
+			for i := 0; i < logfmt.NumProxies; i++ {
+				row[i] = float64(src[i][slot]) / float64(total)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// --- Figure 8 ---
+
+// TorReport is the §7.1 summary.
+type TorReport struct {
+	Total    uint64
+	HTTP     uint64 // Torhttp: directory protocol
+	Onion    uint64 // Toronion: OR-port traffic
+	Censored uint64
+	Errors   uint64
+	// CensoredByProxy indexes SG-42..48.
+	CensoredByProxy [7]uint64
+	// Relays is the number of distinct relays contacted.
+	Relays int
+}
+
+// TorAnalysis returns the Tor summary (zero-valued without a consensus).
+func (a *Analyzer) TorAnalysis() TorReport {
+	rep := TorReport{
+		Total: a.torTotal, HTTP: a.torHTTP, Onion: a.torOnion,
+		Censored: a.torCensored, Errors: a.torErrors,
+		CensoredByProxy: a.torCensoredByProxy,
+	}
+	relays := map[uint32]struct{}{}
+	for ip := range a.torCensoredIPs {
+		relays[ip] = struct{}{}
+	}
+	for _, set := range a.torAllowedIPsByHour {
+		for ip := range set {
+			relays[ip] = struct{}{}
+		}
+	}
+	rep.Relays = len(relays)
+	return rep
+}
+
+// HourPoint is one Fig 8(a) bar.
+type HourPoint struct {
+	Unix     int64
+	Total    uint64
+	Censored uint64
+}
+
+// TorHourly returns the per-hour Tor request series over [from, to).
+func (a *Analyzer) TorHourly(fromUnix, toUnix int64) []HourPoint {
+	var out []HourPoint
+	for t := fromUnix - fromUnix%3600; t < toUnix; t += 3600 {
+		hour := t / 3600
+		out = append(out, HourPoint{Unix: t, Total: a.torHourly[hour], Censored: a.torCensHourly[hour]})
+	}
+	return out
+}
+
+// --- Figure 9 ---
+
+// RFilterPoint is one Fig 9 sample.
+type RFilterPoint struct {
+	Unix    int64
+	RFilter float64
+	// AllowedSeen reports whether any Tor traffic was allowed in the bin
+	// (the paper plots empty bins distinctly).
+	AllowedSeen bool
+}
+
+// RFilter computes the §7.1 re-censoring consistency metric per hour bin:
+//
+//	Rfilter(k) = 1 - |Censored-IPs ∩ Allowed-IPs(k)| / |Censored-IPs|
+//
+// over [fromUnix, toUnix). Returns nil if no Tor relay was ever censored.
+func (a *Analyzer) RFilter(fromUnix, toUnix int64) []RFilterPoint {
+	if len(a.torCensoredIPs) == 0 {
+		return nil
+	}
+	total := float64(len(a.torCensoredIPs))
+	var out []RFilterPoint
+	for t := fromUnix - fromUnix%3600; t < toUnix; t += 3600 {
+		hour := t / 3600
+		allowed := a.torAllowedIPsByHour[hour]
+		inter := 0
+		for ip := range allowed {
+			if _, ok := a.torCensoredIPs[ip]; ok {
+				inter++
+			}
+		}
+		out = append(out, RFilterPoint{
+			Unix:        t,
+			RFilter:     1 - float64(inter)/total,
+			AllowedSeen: len(allowed) > 0,
+		})
+	}
+	return out
+}
+
+// --- Figure 10 ---
+
+// AnonymizerReport is the §7.2 summary.
+type AnonymizerReport struct {
+	Hosts         int // distinct anonymizer hosts seen
+	NeverFiltered int // hosts with zero censored requests
+	Requests      uint64
+	// RequestsCDF is Fig 10(a): #requests per never-filtered host.
+	RequestsCDF *stats.CDF
+	// RatioCDF is Fig 10(b): allowed/censored ratio for filtered hosts.
+	RatioCDF *stats.CDF
+	// FilteredHosts is the Fig 10(b) population size.
+	FilteredHosts int
+}
+
+// Anonymizers computes the anonymizer-service view.
+func (a *Analyzer) Anonymizers() AnonymizerReport {
+	rep := AnonymizerReport{}
+	hosts := map[string]struct{}{}
+	a.anonAllowed.Each(func(h string, _ uint64) { hosts[h] = struct{}{} })
+	a.anonCensored.Each(func(h string, _ uint64) { hosts[h] = struct{}{} })
+	rep.Hosts = len(hosts)
+	rep.Requests = a.anonAllowed.Total() + a.anonCensored.Total()
+
+	var reqs, ratios []float64
+	for h := range hosts {
+		cens := a.anonCensored.Count(h)
+		allow := a.anonAllowed.Count(h)
+		if cens == 0 {
+			rep.NeverFiltered++
+			reqs = append(reqs, float64(allow))
+			continue
+		}
+		rep.FilteredHosts++
+		ratios = append(ratios, float64(allow)/float64(cens))
+	}
+	rep.RequestsCDF = stats.NewCDF(reqs)
+	rep.RatioCDF = stats.NewCDF(ratios)
+	return rep
+}
+
+// --- §4 HTTPS ---
+
+// HTTPSReport is the §4 HTTPS summary.
+type HTTPSReport struct {
+	Total             uint64
+	ShareOfTraffic    float64
+	Censored          uint64
+	CensoredShare     float64
+	CensoredIPLiteral uint64
+	// IPLiteralShare is the share of censored HTTPS whose destination is
+	// a raw IP (the paper reports 82%).
+	IPLiteralShare float64
+}
+
+// HTTPSAnalysis summarizes CONNECT/HTTPS traffic.
+func (a *Analyzer) HTTPSAnalysis() HTTPSReport {
+	rep := HTTPSReport{
+		Total:             a.httpsTotal,
+		Censored:          a.httpsCensored,
+		CensoredIPLiteral: a.httpsCensoredIPHost,
+	}
+	rep.ShareOfTraffic = frac(a.httpsTotal, a.datasets[DFull].Total)
+	rep.CensoredShare = frac(a.httpsCensored, a.httpsTotal)
+	rep.IPLiteralShare = frac(a.httpsCensoredIPHost, a.httpsCensored)
+	return rep
+}
+
+// --- §7.3 BitTorrent ---
+
+// BitTorrentReport is the §7.3 summary.
+type BitTorrentReport struct {
+	Announces     uint64
+	Users         int // distinct peer ids
+	Contents      int // distinct info hashes
+	Censored      uint64
+	AllowedShare  float64
+	Resolved      int     // info hashes resolved to titles
+	ResolvedShare float64 // the paper reports 77.4%
+	// KeywordTitles counts resolved titles containing a blacklisted
+	// keyword — their announces were nonetheless allowed (§7.3's point).
+	KeywordTitles int
+	// ToolTitles counts resolved titles naming anti-censorship tools.
+	ToolTitles  int
+	TopTrackers []DomainShare
+}
+
+// BitTorrent summarizes tracker-announce traffic. keywords is the
+// blacklist to check titles against (pass the Table 10 discovery output
+// or the ground-truth list).
+func (a *Analyzer) BitTorrent(keywords []string) BitTorrentReport {
+	rep := BitTorrentReport{
+		Announces: a.btTotal,
+		Users:     len(a.btPeers),
+		Contents:  len(a.btHashes),
+		Censored:  a.btCensored,
+	}
+	rep.AllowedShare = frac(a.btTotal-a.btCensored, a.btTotal)
+	rep.TopTrackers = sharesOf(a.btTrackers, 5)
+	if a.opt.TitleDB != nil {
+		tools := []string{"ultrasurf", "hidemyass", "hide ip", "anonymous browser"}
+		for hash := range a.btHashes {
+			title, ok := a.opt.TitleDB.Resolve(hash)
+			if !ok {
+				continue
+			}
+			rep.Resolved++
+			if bittorrent.ContainsAnyKeyword(title, keywords) {
+				rep.KeywordTitles++
+			}
+			if bittorrent.ContainsAnyKeyword(title, tools) {
+				rep.ToolTitles++
+			}
+		}
+		rep.ResolvedShare = frac(uint64(rep.Resolved), uint64(rep.Contents))
+	}
+	return rep
+}
+
+// --- §7.4 Google cache ---
+
+// GoogleCacheReport is the §7.4 summary.
+type GoogleCacheReport struct {
+	Total    uint64
+	Censored uint64
+}
+
+// GoogleCache summarizes webcache.googleusercontent.com traffic.
+func (a *Analyzer) GoogleCache() GoogleCacheReport {
+	return GoogleCacheReport{Total: a.gcTotal, Censored: a.gcCensored}
+}

@@ -1,0 +1,527 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"syriafilter/internal/categorydb"
+	"syriafilter/internal/geoip"
+	"syriafilter/internal/stats"
+	"syriafilter/internal/urlx"
+)
+
+// --- Table 1 / Table 3 ---
+
+// DatasetInfo is one Table 1 row.
+type DatasetInfo struct {
+	ID       DatasetID
+	Requests uint64
+}
+
+// Table1 returns the dataset sizes.
+func (a *Analyzer) Table1() []DatasetInfo {
+	out := make([]DatasetInfo, 0, int(numDatasets))
+	for id := DFull; id < numDatasets; id++ {
+		out = append(out, DatasetInfo{ID: id, Requests: a.datasets[id].Total})
+	}
+	return out
+}
+
+// Table3 returns the class × exception counts for every dataset.
+func (a *Analyzer) Table3() [4]ClassCounts { return a.datasets }
+
+// Dataset returns one dataset's counts.
+func (a *Analyzer) Dataset(id DatasetID) ClassCounts { return a.datasets[id] }
+
+// --- Table 4 ---
+
+// DomainShare is a (domain, count, share) row.
+type DomainShare struct {
+	Domain string
+	Count  uint64
+	Share  float64 // of the class total
+}
+
+func sharesOf(c *stats.Counter, k int) []DomainShare {
+	top := c.Top(k)
+	total := c.Total()
+	out := make([]DomainShare, len(top))
+	for i, e := range top {
+		out[i] = DomainShare{Domain: e.Key, Count: e.Count, Share: frac(e.Count, total)}
+	}
+	return out
+}
+
+// TopDomains returns Table 4: the top-k allowed and censored domains.
+func (a *Analyzer) TopDomains(k int) (allowed, censored []DomainShare) {
+	return sharesOf(a.domAllowed, k), sharesOf(a.domCensored, k)
+}
+
+// --- Table 5 ---
+
+// Table5Window is the top censored domains in one time window.
+type Table5Window struct {
+	FromUnix, ToUnix int64
+	Top              []DomainShare
+}
+
+// Table5 reports the top-k censored domains per window; windows are
+// [from, from+width), stepped across [from, to). The paper uses Aug 3,
+// 6:00–12:00 in 2-hour windows.
+func (a *Analyzer) Table5(fromUnix, toUnix, widthSec int64, k int) []Table5Window {
+	var out []Table5Window
+	for start := fromUnix; start < toUnix; start += widthSec {
+		end := start + widthSec
+		counts := stats.NewCounter()
+		for hour := start / 3600; hour*3600 < end; hour++ {
+			if hour*3600 < start {
+				continue
+			}
+			for dom, n := range a.censHourDomains[hour] {
+				counts.AddN(dom, n)
+			}
+		}
+		out = append(out, Table5Window{FromUnix: start, ToUnix: end, Top: sharesOf(counts, k)})
+	}
+	return out
+}
+
+// --- Table 6 ---
+
+// ProxySimilarity returns the 7×7 cosine-similarity matrix of censored
+// domain profiles (Table 6), indexed by SG-42..48 order.
+func (a *Analyzer) ProxySimilarity() [][]float64 {
+	profiles := make([]map[string]uint64, len(a.proxyCensDomains))
+	for i := range a.proxyCensDomains {
+		profiles[i] = a.proxyCensDomains[i]
+	}
+	return stats.SimilarityMatrix(profiles)
+}
+
+// ProxyCategoryLabels reports which default cs-categories label each proxy
+// stamps (§5.2: "none" on SG-43/48, "unavailable" elsewhere).
+func (a *Analyzer) ProxyCategoryLabels() [7]string {
+	var out [7]string
+	for i, m := range a.proxyLabels {
+		best, bestN := "", uint64(0)
+		for label, n := range m {
+			if n > bestN {
+				best, bestN = label, n
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// --- Table 7 ---
+
+// RedirectHosts returns the top-k policy_redirect hosts.
+func (a *Analyzer) RedirectHosts(k int) []DomainShare {
+	return sharesOf(a.redirectHosts, k)
+}
+
+// --- Tables 8 and 10: the §5.4 discovery algorithm ---
+
+// SuspectedDomain is a Table 8 row: a domain with censored traffic and no
+// allowed traffic.
+type SuspectedDomain struct {
+	Domain   string
+	Censored uint64
+	Allowed  uint64 // zero by construction
+	Proxied  uint64
+}
+
+// Keyword is a Table 10 row.
+type Keyword struct {
+	Keyword  string
+	Censored uint64
+	Allowed  uint64 // zero by construction
+	Proxied  uint64
+}
+
+// Discovery bundles the recovered string-filtering policy.
+type Discovery struct {
+	Domains  []SuspectedDomain
+	Keywords []Keyword
+}
+
+// DiscoverFilters implements §5.4's iterative identification of censored
+// strings, in two phases:
+//
+//  1. URL/domain phase: every registered domain with policy_denied
+//     traffic and zero allowed traffic is suspected (the NC >> 1, NA = 0
+//     criterion). A TLD whose every domain qualifies collapses into one
+//     ".tld" entry (the paper's ".il").
+//  2. Keyword phase: censored URLs *not* explained by phase 1 (and not
+//     IP-literal hosts, which the IP analysis owns) are tokenized; a token
+//     is a censored keyword if it appears at least minCount times in that
+//     residue and never in allowed URLs.
+//
+// minCount guards against coincidental singletons (the paper's "NC >> 1").
+// Keyword candidates must additionally hit at least three distinct
+// registered domains: keyword rules are cross-domain by nature, while a
+// token seen on one domain only is better explained by a URL rule.
+func (a *Analyzer) DiscoverFilters(minCount uint64) Discovery {
+	if minCount == 0 {
+		minCount = 3
+	}
+	const minSpread = 3
+	var d Discovery
+
+	// Phase 0: TLD collapse. A TLD with censored traffic and no allowed
+	// traffic anywhere is one blanket rule (the paper's ".il").
+	blockedTLDs := make(map[string]bool)
+	a.tldCensored.Each(func(tld string, n uint64) {
+		if tld != "" && n >= minCount && a.tldAllowed.Count(tld) == 0 {
+			blockedTLDs[tld] = true
+			d.Domains = append(d.Domains, SuspectedDomain{Domain: "." + tld, Censored: n})
+		}
+	})
+
+	// Phase 1: keywords, by the paper's iterative elimination over the
+	// stored censored URLs: repeatedly take the most frequent cross-domain
+	// token that never occurs in allowed URLs, record it, and remove every
+	// censored URL it explains. Running keywords *before* domains mirrors
+	// the paper's removal step and prevents keyword collateral (e.g. all
+	// announces to tracker-proxy.furk.net) from masquerading as
+	// domain-blocking.
+	type residueEntry struct {
+		url    string
+		domain string
+		host   string
+		tokens []string
+	}
+	var residue []residueEntry
+	for _, cu := range a.censoredURLs {
+		if blockedTLDs[urlx.TLD(cu.Host)] || urlx.IsIPv4(cu.Host) {
+			continue
+		}
+		residue = append(residue, residueEntry{
+			url:    strings.ToLower(cu.URL),
+			domain: cu.Domain,
+			host:   cu.Host,
+			tokens: TokenizeURL(cu.Host, pathOf(cu.URL, cu.Host), queryOf(cu.URL)),
+		})
+	}
+	for rounds := 0; rounds < 64; rounds++ {
+		counts := stats.NewCounter()
+		domainsOf := map[string]map[string]struct{}{}
+		for _, re := range residue {
+			seen := map[string]bool{}
+			for _, tok := range re.tokens {
+				if seen[tok] {
+					continue
+				}
+				seen[tok] = true
+				counts.Add(tok)
+				set := domainsOf[tok]
+				if set == nil {
+					set = map[string]struct{}{}
+					domainsOf[tok] = set
+				}
+				set[re.domain] = struct{}{}
+			}
+		}
+		best := ""
+		var bestN uint64
+		counts.Each(func(tok string, n uint64) {
+			if n < minCount || a.tokAllowed.Count(tok) != 0 {
+				return
+			}
+			if len(domainsOf[tok]) < minSpread {
+				return
+			}
+			if n > bestN || (n == bestN && tok < best) {
+				best, bestN = tok, n
+			}
+		})
+		if best == "" {
+			break
+		}
+		d.Keywords = append(d.Keywords, Keyword{
+			Keyword:  best,
+			Censored: bestN,
+			Proxied:  a.tokProxied.Count(best),
+		})
+		keep := residue[:0]
+		for _, re := range residue {
+			if !strings.Contains(re.url, best) {
+				keep = append(keep, re)
+			}
+		}
+		residue = keep
+	}
+
+	// Phase 2: URL rules from the unexplained residue — registered
+	// domains, then single hosts (messenger.live.com-style entries whose
+	// registered domain still has allowed traffic). Counts come from the
+	// residue so keyword-explained requests are not re-attributed.
+	domCounts := stats.NewCounter()
+	hostCounts := stats.NewCounter()
+	for _, re := range residue {
+		domCounts.Add(re.domain)
+		hostCounts.Add(re.host)
+	}
+	suspected := make(map[string]bool)
+	domCounts.Each(func(dom string, n uint64) {
+		if n < minCount || a.domAllowed.Count(dom) != 0 {
+			return
+		}
+		suspected[dom] = true
+		d.Domains = append(d.Domains, SuspectedDomain{
+			Domain:   dom,
+			Censored: a.domCensoredDeny.Count(dom),
+			Proxied:  a.domProxied.Count(dom),
+		})
+	})
+	hostCounts.Each(func(host string, n uint64) {
+		if n < minCount || suspected[urlx.RegisteredDomain(host)] {
+			return
+		}
+		if a.hostAllowed.Count(host) != 0 {
+			return
+		}
+		d.Domains = append(d.Domains, SuspectedDomain{
+			Domain:   host,
+			Censored: a.hostCensoredDeny.Count(host),
+		})
+	})
+	sort.Slice(d.Domains, func(i, j int) bool {
+		if d.Domains[i].Censored != d.Domains[j].Censored {
+			return d.Domains[i].Censored > d.Domains[j].Censored
+		}
+		return d.Domains[i].Domain < d.Domains[j].Domain
+	})
+	return d
+}
+
+func pathOf(url, host string) string {
+	rest := strings.TrimPrefix(url, host)
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+func queryOf(url string) string {
+	if i := strings.IndexByte(url, '?'); i >= 0 {
+		return url[i+1:]
+	}
+	return ""
+}
+
+// --- Table 9 ---
+
+// CategoryDomains is a Table 9 row: one category's slice of the suspected
+// domains and their censored request volume.
+type CategoryDomains struct {
+	Category string
+	Domains  int
+	Requests uint64
+}
+
+// Table9 categorizes the suspected (URL-blacklisted) domains.
+func (a *Analyzer) Table9(d Discovery) []CategoryDomains {
+	agg := map[string]*CategoryDomains{}
+	for _, sd := range d.Domains {
+		cat := string(a.opt.Categories.Classify(strings.TrimPrefix(sd.Domain, ".")))
+		if strings.HasPrefix(sd.Domain, ".") {
+			cat = string(categorydb.CatNA) // a whole TLD has no single category
+		}
+		row := agg[cat]
+		if row == nil {
+			row = &CategoryDomains{Category: cat}
+			agg[cat] = row
+		}
+		row.Domains++
+		row.Requests += sd.Censored
+	}
+	out := make([]CategoryDomains, 0, len(agg))
+	for _, row := range agg {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// --- Table 11 ---
+
+// CountryRatio is a Table 11 row.
+type CountryRatio struct {
+	Country  string
+	Censored uint64
+	Allowed  uint64
+	Ratio    float64
+}
+
+// CountryRatios computes per-country censorship ratios over IP-literal
+// destinations, descending by ratio.
+func (a *Analyzer) CountryRatios() []CountryRatio {
+	all := map[string]*CountryRatio{}
+	a.countryCensored.Each(func(c string, n uint64) {
+		all[c] = &CountryRatio{Country: c, Censored: n}
+	})
+	a.countryAllowed.Each(func(c string, n uint64) {
+		row := all[c]
+		if row == nil {
+			row = &CountryRatio{Country: c}
+			all[c] = row
+		}
+		row.Allowed = n
+	})
+	out := make([]CountryRatio, 0, len(all))
+	for _, row := range all {
+		if row.Censored+row.Allowed > 0 {
+			row.Ratio = float64(row.Censored) / float64(row.Censored+row.Allowed)
+		}
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// --- Table 12 ---
+
+// SubnetStat is a Table 12 row.
+type SubnetStat struct {
+	Subnet                    string
+	CensoredReqs, CensoredIPs uint64
+	AllowedReqs, AllowedIPs   uint64
+	ProxiedReqs, ProxiedIPs   uint64
+}
+
+// IsraeliSubnets reports per-subnet censorship over the Israeli address
+// ranges, descending by censored requests.
+func (a *Analyzer) IsraeliSubnets() []SubnetStat {
+	out := make([]SubnetStat, 0, len(a.subnets))
+	for subnet, st := range a.subnets {
+		out = append(out, SubnetStat{
+			Subnet:       subnet,
+			CensoredReqs: st.Censored, CensoredIPs: uint64(len(st.CensoredIPs)),
+			AllowedReqs: st.Allowed, AllowedIPs: uint64(len(st.AllowedIPs)),
+			ProxiedReqs: st.Proxied, ProxiedIPs: uint64(len(st.ProxIPs)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CensoredReqs != out[j].CensoredReqs {
+			return out[i].CensoredReqs > out[j].CensoredReqs
+		}
+		return out[i].Subnet < out[j].Subnet
+	})
+	return out
+}
+
+// PaperSubnets returns the Table 12 subnet labels in paper order, for
+// harnesses that want the fixed row set.
+func PaperSubnets() []string {
+	out := append([]string(nil), geoip.IsraeliSubnets...)
+	return out
+}
+
+// --- Table 13 ---
+
+// OSNStat is a Table 13 row.
+type OSNStat struct {
+	Domain                     string
+	Censored, Allowed, Proxied uint64
+}
+
+// SocialNetworks reports censorship across the §6 watchlist, descending
+// by censored count.
+func (a *Analyzer) SocialNetworks() []OSNStat {
+	out := make([]OSNStat, 0, len(a.osn))
+	for dom, ts := range a.osn {
+		out = append(out, OSNStat{Domain: dom, Censored: ts.Censored, Allowed: ts.Allowed, Proxied: ts.Proxied})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Censored != out[j].Censored {
+			return out[i].Censored > out[j].Censored
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// --- Table 14 ---
+
+// FBPage is a Table 14 row.
+type FBPage struct {
+	Page                       string
+	Censored, Allowed, Proxied uint64
+}
+
+// FacebookPages lists the custom-category ("Blocked sites") Facebook
+// pages, descending by censored count.
+func (a *Analyzer) FacebookPages() []FBPage {
+	out := []FBPage{}
+	for path, ps := range a.fbPages {
+		if !ps.CustomCategory {
+			continue
+		}
+		out = append(out, FBPage{
+			Page:     strings.TrimPrefix(path, "/"),
+			Censored: ps.Censored, Allowed: ps.Allowed, Proxied: ps.Proxied,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Censored != out[j].Censored {
+			return out[i].Censored > out[j].Censored
+		}
+		return out[i].Page < out[j].Page
+	})
+	return out
+}
+
+// --- Table 15 ---
+
+// PluginStat is a Table 15 row.
+type PluginStat struct {
+	Path                       string
+	Censored, Allowed, Proxied uint64
+	// ShareOfFBCensored is the element's share of all censored traffic on
+	// the facebook.com domain.
+	ShareOfFBCensored float64
+}
+
+// SocialPlugins reports the top-k censored facebook.com platform elements.
+func (a *Analyzer) SocialPlugins(k int) []PluginStat {
+	out := []PluginStat{}
+	for path, ts := range a.fbPaths {
+		if ts.Censored == 0 {
+			continue
+		}
+		out = append(out, PluginStat{
+			Path:     path,
+			Censored: ts.Censored, Allowed: ts.Allowed, Proxied: ts.Proxied,
+			ShareOfFBCensored: frac(ts.Censored, a.fbCens),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Censored != out[j].Censored {
+			return out[i].Censored > out[j].Censored
+		}
+		return out[i].Path < out[j].Path
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func frac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,67 @@
+package geoip
+
+// This file holds the synthetic-but-shaped seed data replacing the MaxMind
+// GeoIP and ip2location datasets: every subnet named in the paper's
+// Tables 11 and 12 is present with its real country, plus filler blocks
+// for the countries whose censorship ratios Table 11 reports and a few
+// never-censored countries for contrast. The generator draws destination
+// IPs from these blocks, and the Table 11/12 analyses geo-localize against
+// the same database, exactly as the paper joins its logs against MaxMind.
+
+// IsraeliSubnets are the five subnets of Table 12, in paper order.
+var IsraeliSubnets = []string{
+	"84.229.0.0/16",
+	"46.120.0.0/15",
+	"89.138.0.0/15",
+	"212.235.64.0/19",
+	"212.150.0.0/16",
+}
+
+// countryBlock is one country's address allocation in the synthetic world.
+type countryBlock struct {
+	country string
+	cidrs   []string
+}
+
+var seedBlocks = []countryBlock{
+	{"IL", IsraeliSubnets},
+	{"IL", []string{"80.179.0.0/16"}}, // extra Israeli space outside Table 12
+	{"KW", []string{"168.187.0.0/16"}},
+	{"RU", []string{"93.158.0.0/16", "178.154.0.0/16"}},
+	{"GB", []string{"212.58.224.0/19", "31.170.160.0/19"}},
+	{"NL", []string{"145.97.0.0/16", "94.75.0.0/16"}},
+	{"SG", []string{"203.116.0.0/16"}},
+	{"BG", []string{"212.39.64.0/18"}},
+	{"US", []string{"8.8.0.0/16", "72.14.192.0/18", "69.63.176.0/20"}},
+	{"DE", []string{"217.160.0.0/16"}},
+	{"FR", []string{"212.27.32.0/19"}},
+	{"SY", []string{"82.137.192.0/18", "31.9.0.0/16"}},
+}
+
+// SyriaEra returns the seed database described above. It always builds
+// cleanly; failure is a programming error in the seed tables.
+func SyriaEra() *DB {
+	var b Builder
+	for _, blk := range seedBlocks {
+		for _, cidr := range blk.cidrs {
+			if err := b.AddCIDR(cidr, blk.country); err != nil {
+				panic("geoip: bad seed " + cidr + ": " + err.Error())
+			}
+		}
+	}
+	db, err := b.Build()
+	if err != nil {
+		panic("geoip: seed overlap: " + err.Error())
+	}
+	return db
+}
+
+// CountryBlocks returns, for each country in the seed, the list of CIDRs.
+// The traffic generator uses this to draw realistic destination IPs.
+func CountryBlocks() map[string][]string {
+	out := make(map[string][]string)
+	for _, blk := range seedBlocks {
+		out[blk.country] = append(out[blk.country], blk.cidrs...)
+	}
+	return out
+}

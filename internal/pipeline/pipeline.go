@@ -1,0 +1,175 @@
+// Package pipeline runs record analyses concurrently: a source of log
+// records is fanned out to worker goroutines, each folding into its own
+// accumulator, and the per-worker accumulators are merged at the end.
+// Every accumulator in internal/stats and the core Analyzer support Merge,
+// so any analysis composes with this scheme.
+//
+// The design follows the same reasoning as gopacket's FastHash fan-out:
+// batches keep channel overhead amortized, and per-worker state avoids
+// locks entirely.
+package pipeline
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"syriafilter/internal/logfmt"
+)
+
+// Scanner yields records. logfmt.Reader satisfies it; SliceScanner and
+// MultiReader adapt in-memory corpora and file sets.
+type Scanner interface {
+	// Next returns the next record, or ok=false at the end of the stream.
+	// The returned pointer may be reused between calls.
+	Next() (*logfmt.Record, bool)
+	// Err returns the terminal error, nil on clean EOF.
+	Err() error
+}
+
+// BatchSize is the number of records per work unit.
+const BatchSize = 1024
+
+// Run scans src with n workers. Each worker owns an accumulator from
+// newAcc and folds records with observe; merge folds worker accumulators
+// into the first one, which is returned. n <= 0 uses GOMAXPROCS.
+//
+// Records handed to observe are private copies: they remain valid after
+// observe returns, but sharing them across batches is the caller's
+// business.
+func Run[A any](src Scanner, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == 1 {
+		acc := newAcc()
+		for {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			observe(acc, rec)
+		}
+		return acc, src.Err()
+	}
+
+	batches := make(chan []logfmt.Record, n*2)
+	accs := make([]A, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acc := newAcc()
+			for batch := range batches {
+				for j := range batch {
+					observe(acc, &batch[j])
+				}
+			}
+			accs[i] = acc
+		}(i)
+	}
+
+	batch := make([]logfmt.Record, 0, BatchSize)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, *rec)
+		if len(batch) == BatchSize {
+			batches <- batch
+			batch = make([]logfmt.Record, 0, BatchSize)
+		}
+	}
+	if len(batch) > 0 {
+		batches <- batch
+	}
+	close(batches)
+	wg.Wait()
+
+	out := accs[0]
+	for i := 1; i < n; i++ {
+		merge(out, accs[i])
+	}
+	return out, src.Err()
+}
+
+// SliceScanner adapts an in-memory record slice.
+type SliceScanner struct {
+	recs []logfmt.Record
+	i    int
+}
+
+// NewSliceScanner wraps recs (not copied).
+func NewSliceScanner(recs []logfmt.Record) *SliceScanner {
+	return &SliceScanner{recs: recs}
+}
+
+// Next implements Scanner.
+func (s *SliceScanner) Next() (*logfmt.Record, bool) {
+	if s.i >= len(s.recs) {
+		return nil, false
+	}
+	r := &s.recs[s.i]
+	s.i++
+	return r, true
+}
+
+// Err implements Scanner.
+func (s *SliceScanner) Err() error { return nil }
+
+// Reset rewinds the scanner for another pass.
+func (s *SliceScanner) Reset() { s.i = 0 }
+
+// FuncScanner adapts a generator function to a Scanner.
+type FuncScanner struct {
+	fn  func() (*logfmt.Record, bool)
+	err error
+}
+
+// NewFuncScanner wraps fn.
+func NewFuncScanner(fn func() (*logfmt.Record, bool)) *FuncScanner {
+	return &FuncScanner{fn: fn}
+}
+
+// Next implements Scanner.
+func (s *FuncScanner) Next() (*logfmt.Record, bool) { return s.fn() }
+
+// Err implements Scanner.
+func (s *FuncScanner) Err() error { return s.err }
+
+// MultiScanner chains several scanners, e.g. one logfmt.Reader per proxy
+// log file.
+type MultiScanner struct {
+	scanners []Scanner
+	i        int
+	err      error
+}
+
+// NewMultiScanner chains scanners in order.
+func NewMultiScanner(scanners ...Scanner) *MultiScanner {
+	return &MultiScanner{scanners: scanners}
+}
+
+// Next implements Scanner.
+func (m *MultiScanner) Next() (*logfmt.Record, bool) {
+	for m.i < len(m.scanners) {
+		rec, ok := m.scanners[m.i].Next()
+		if ok {
+			return rec, true
+		}
+		if err := m.scanners[m.i].Err(); err != nil {
+			m.err = err
+			return nil, false
+		}
+		m.i++
+	}
+	return nil, false
+}
+
+// Err implements Scanner.
+func (m *MultiScanner) Err() error { return m.err }
+
+// ErrStopped is returned by sources cancelled mid-scan.
+var ErrStopped = errors.New("pipeline: stopped")

@@ -1,0 +1,133 @@
+package prober
+
+import (
+	"testing"
+
+	"syriafilter/internal/policy"
+)
+
+func engine() *policy.Engine { return policy.Compile(policy.PaperRuleset()) }
+
+func TestRunBasics(t *testing.T) {
+	p := New(engine())
+	rep := p.Run([]Probe{
+		{Host: "metacafe.com", Path: "/"},
+		{Host: "example.com", Path: "/"},
+		{Host: "example.com", Path: "/proxy.php"},
+		{Host: "panet.co.il", Path: "/"},
+	})
+	if rep.Probes != 4 || rep.Blocked != 3 {
+		t.Fatalf("probes=%d blocked=%d", rep.Probes, rep.Blocked)
+	}
+	// example.com blocked once (keyword) and allowed once: the host still
+	// counts as blocked-witnessed.
+	want := []string{"example.com", "metacafe.com", "panet.co.il"}
+	if len(rep.BlockedHosts) != len(want) {
+		t.Fatalf("blocked hosts = %v", rep.BlockedHosts)
+	}
+	for i := range want {
+		if rep.BlockedHosts[i] != want[i] {
+			t.Fatalf("blocked hosts = %v", rep.BlockedHosts)
+		}
+	}
+	if !rep.Results[0].Blocked || rep.Results[0].TrueKind != policy.KindDomain {
+		t.Errorf("metacafe result: %+v", rep.Results[0])
+	}
+}
+
+func TestHomepageProbes(t *testing.T) {
+	probes := HomepageProbes([]string{"a.com", "b.org"})
+	if len(probes) != 2 || probes[0].Path != "/" || probes[1].Host != "b.org" {
+		t.Fatalf("probes = %+v", probes)
+	}
+}
+
+// The paper's §1 claim: homepage probing of a site list cannot enumerate
+// keyword rules — it only sees the domains on the list.
+func TestProbingMissesKeywordsOnHomepageLists(t *testing.T) {
+	p := New(engine())
+	hosts := []string{
+		"metacafe.com", "skype.com", "facebook.com", "twitter.com",
+		"google.com", "wikipedia.org", "badoo.com", "amazon.com",
+	}
+	rep := p.Run(HomepageProbes(hosts))
+	cov := KeywordCoverage(rep, policy.PaperKeywords)
+	if cov.FoundRules != 0 {
+		t.Errorf("homepage probing should find 0 keywords, found %d", cov.FoundRules)
+	}
+	if cov.Recall() != 0 {
+		t.Errorf("recall = %v", cov.Recall())
+	}
+	if len(cov.MissedRules) != len(policy.PaperKeywords) {
+		t.Errorf("missed = %v", cov.MissedRules)
+	}
+}
+
+// Keyword-bearing probes DO witness keyword rules: the candidate list is
+// the binding constraint, which is the point.
+func TestProbingFindsKeywordsWhenListed(t *testing.T) {
+	p := New(engine())
+	rep := p.Run([]Probe{
+		{Host: "probe.example", Path: "/proxy"},
+		{Host: "probe.example", Path: "/hotspotshield"},
+		{Host: "probe.example", Path: "/ultrareach"},
+		{Host: "probe.example", Path: "/israel"},
+		{Host: "probe.example", Path: "/ultrasurf"},
+	})
+	cov := KeywordCoverage(rep, policy.PaperKeywords)
+	if cov.FoundRules != len(policy.PaperKeywords) {
+		t.Errorf("found %d of %d: %v", cov.FoundRules, len(policy.PaperKeywords), cov.MissedRules)
+	}
+}
+
+func TestDomainCoverage(t *testing.T) {
+	p := New(engine())
+	rep := p.Run(HomepageProbes([]string{
+		"metacafe.com", "www.skype.com", "example.com",
+	}))
+	cov := DomainCoverage(rep, []string{"metacafe.com", "skype.com", "badoo.com"})
+	if cov.FoundRules != 2 {
+		t.Errorf("found = %d, want 2 (metacafe via exact, skype via subdomain)", cov.FoundRules)
+	}
+	if len(cov.MissedRules) != 1 || cov.MissedRules[0] != "badoo.com" {
+		t.Errorf("missed = %v", cov.MissedRules)
+	}
+	if cov.Recall() < 0.66 || cov.Recall() > 0.67 {
+		t.Errorf("recall = %v", cov.Recall())
+	}
+}
+
+func TestCoverageEmptyReference(t *testing.T) {
+	var cov Coverage
+	if cov.Recall() != 0 {
+		t.Error("empty reference recall should be 0")
+	}
+}
+
+func TestHelperEdges(t *testing.T) {
+	if !hasSuffixDot("www.skype.com", "skype.com") {
+		t.Error("subdomain suffix failed")
+	}
+	if hasSuffixDot("notskype.com", "skype.com") {
+		t.Error("non-subdomain matched")
+	}
+	if !containsFold("X.Example/PROXY.php", "proxy") {
+		t.Error("case-insensitive contains failed")
+	}
+	if containsFold("abc", "") == false {
+		t.Error("empty needle should match")
+	}
+}
+
+func BenchmarkProbeCampaign(b *testing.B) {
+	p := New(engine())
+	hosts := make([]string, 200)
+	for i := range hosts {
+		hosts[i] = "candidate-" + string(rune('a'+i%26)) + ".example"
+	}
+	probes := HomepageProbes(hosts)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Run(probes)
+	}
+}

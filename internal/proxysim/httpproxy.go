@@ -1,0 +1,274 @@
+package proxysim
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/policy"
+	"syriafilter/internal/urlx"
+)
+
+// Server is a live HTTP filtering proxy driven by the same policy engine
+// as the offline simulator: an explicit proxy that handles absolute-URI
+// requests and CONNECT tunnels, returning 403 for policy_denied and 302
+// for policy_redirect, and forwarding allowed traffic upstream. Every
+// decision is reported to an optional LogFunc as a logfmt.Record, so the
+// live proxy produces the same corpus format as the simulator.
+//
+// It exists to demonstrate the filtering semantics over real sockets (see
+// examples/liveproxy); it is not a hardened production proxy.
+type Server struct {
+	// Engine decides each request. Required.
+	Engine *policy.Engine
+	// SG is the proxy identity stamped into records (default 42).
+	SG int
+	// RedirectURL is where policy_redirect sends clients (the paper could
+	// not observe the real destination; it was hosted inside Syria).
+	RedirectURL string
+	// LogFunc, when set, receives one record per processed request.
+	LogFunc func(*logfmt.Record)
+	// Transport performs upstream requests (default http.DefaultTransport).
+	Transport http.RoundTripper
+	// Dial opens CONNECT tunnels (default net.Dial with 5s timeout).
+	Dial func(network, addr string) (net.Conn, error)
+	// Now supplies record timestamps (default time.Now). Injectable for
+	// deterministic tests.
+	Now func() time.Time
+
+	mu     sync.Mutex
+	counts Counts
+}
+
+// Counts returns processing totals.
+func (s *Server) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodConnect {
+		s.serveConnect(w, r)
+		return
+	}
+	s.serveHTTP(w, r)
+}
+
+func (s *Server) evaluate(r *http.Request) (policy.Verdict, *logfmt.Record) {
+	host, port := urlx.SplitHostPort(r.Host)
+	if r.URL.Host != "" {
+		host, port = urlx.SplitHostPort(r.URL.Host)
+	}
+	scheme := r.URL.Scheme
+	if scheme == "" {
+		scheme = "http"
+	}
+	if port == 0 {
+		port = urlx.DefaultPort(scheme)
+	}
+	if r.Method == http.MethodConnect {
+		scheme = "tcp"
+	}
+	preq := policy.Request{
+		Host:   strings.ToLower(host),
+		Port:   port,
+		Path:   r.URL.Path,
+		Query:  r.URL.RawQuery,
+		Scheme: scheme,
+		Method: r.Method,
+	}
+	v := s.Engine.Evaluate(&preq)
+
+	now := time.Now
+	if s.Now != nil {
+		now = s.Now
+	}
+	sg := s.SG
+	if sg == 0 {
+		sg = 42
+	}
+	rec := &logfmt.Record{
+		Time:      now().Unix(),
+		ClientIP:  clientAddr(r),
+		Method:    r.Method,
+		Scheme:    scheme,
+		Host:      preq.Host,
+		Port:      port,
+		Path:      r.URL.Path,
+		Query:     r.URL.RawQuery,
+		Ext:       urlx.PathExt(r.URL.Path),
+		UserAgent: r.UserAgent(),
+	}
+	rec.SetProxy(sg)
+	rec.Categories = defaultCategoryLabel(sg)
+	return v, rec
+}
+
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	v, rec := s.evaluate(r)
+	switch v.Action {
+	case policy.Deny:
+		rec.Exception = logfmt.ExPolicyDenied
+		rec.Filter = logfmt.Denied
+		rec.SAction = "TCP_DENIED"
+		rec.Status = http.StatusForbidden
+		s.log(rec, v)
+		w.Header().Set("X-Exception-Id", "policy_denied")
+		http.Error(w, "Access Denied (content filtered)", http.StatusForbidden)
+		return
+	case policy.Redirect:
+		rec.Exception = logfmt.ExPolicyRedirect
+		rec.Filter = logfmt.Denied
+		rec.SAction = "tcp_policy_redirect"
+		rec.Status = http.StatusFound
+		if v.Kind == policy.KindCategory && isPageRule(v.Match, rec.Host) {
+			rec.Categories = customCategoryLabel(42)
+		}
+		s.log(rec, v)
+		target := s.RedirectURL
+		if target == "" {
+			target = "http://redirect.invalid/"
+		}
+		w.Header().Set("X-Exception-Id", "policy_redirect")
+		http.Redirect(w, r, target, http.StatusFound)
+		return
+	}
+
+	// Forward upstream.
+	tr := s.Transport
+	if tr == nil {
+		tr = http.DefaultTransport
+	}
+	out := r.Clone(r.Context())
+	out.RequestURI = ""
+	if out.URL.Scheme == "" {
+		out.URL.Scheme = "http"
+	}
+	if out.URL.Host == "" {
+		out.URL.Host = r.Host
+	}
+	resp, err := tr.RoundTrip(out)
+	if err != nil {
+		rec.Exception = logfmt.ExTCPError
+		rec.Filter = logfmt.Denied
+		rec.SAction = "TCP_ERR_MISS"
+		rec.Status = http.StatusBadGateway
+		s.log(rec, v)
+		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	rec.Exception = logfmt.ExNone
+	rec.Filter = logfmt.Observed
+	rec.SAction = "TCP_NC_MISS"
+	rec.Status = uint16(resp.StatusCode)
+	rec.ContentType = resp.Header.Get("Content-Type")
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	n, _ := io.Copy(w, resp.Body)
+	rec.ScBytes = uint32(n)
+	s.log(rec, v)
+}
+
+func (s *Server) serveConnect(w http.ResponseWriter, r *http.Request) {
+	v, rec := s.evaluate(r)
+	if v.Action != policy.Allow {
+		rec.Exception = logfmt.ExPolicyDenied
+		if v.Action == policy.Redirect {
+			rec.Exception = logfmt.ExPolicyRedirect
+		}
+		rec.Filter = logfmt.Denied
+		rec.SAction = "TCP_DENIED"
+		rec.Status = http.StatusForbidden
+		s.log(rec, v)
+		http.Error(w, "CONNECT denied (content filtered)", http.StatusForbidden)
+		return
+	}
+
+	dial := s.Dial
+	if dial == nil {
+		dial = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, 5*time.Second)
+		}
+	}
+	upstream, err := dial("tcp", r.Host)
+	if err != nil {
+		rec.Exception = logfmt.ExTCPError
+		rec.Filter = logfmt.Denied
+		rec.SAction = "TCP_ERR_MISS"
+		rec.Status = http.StatusBadGateway
+		s.log(rec, v)
+		http.Error(w, "dial failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer upstream.Close()
+
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		rec.Exception = logfmt.ExInternalError
+		rec.Filter = logfmt.Denied
+		s.log(rec, v)
+		http.Error(w, "hijacking unsupported", http.StatusInternalServerError)
+		return
+	}
+	client, buf, err := hj.Hijack()
+	if err != nil {
+		rec.Exception = logfmt.ExInternalError
+		rec.Filter = logfmt.Denied
+		s.log(rec, v)
+		return
+	}
+	defer client.Close()
+
+	rec.Exception = logfmt.ExNone
+	rec.Filter = logfmt.Observed
+	rec.SAction = "TCP_TUNNELED"
+	rec.Status = 200
+	s.log(rec, v)
+
+	_, _ = buf.WriteString("HTTP/1.1 200 Connection Established\r\n\r\n")
+	_ = buf.Flush()
+
+	done := make(chan struct{}, 2)
+	go func() { _, _ = io.Copy(upstream, client); done <- struct{}{} }()
+	go func() { _, _ = io.Copy(client, upstream); done <- struct{}{} }()
+	<-done
+}
+
+func (s *Server) log(rec *logfmt.Record, v policy.Verdict) {
+	s.mu.Lock()
+	s.counts.Total++
+	switch {
+	case rec.Exception.IsCensorship():
+		s.counts.Censored++
+		if rec.Exception == logfmt.ExPolicyRedirect {
+			s.counts.Redirect++
+		}
+	case rec.Exception.IsError():
+		s.counts.Errors++
+	default:
+		s.counts.Allowed++
+	}
+	s.mu.Unlock()
+	if s.LogFunc != nil {
+		s.LogFunc(rec)
+	}
+}
+
+func clientAddr(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

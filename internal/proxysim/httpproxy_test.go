@@ -1,0 +1,222 @@
+package proxysim
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/policy"
+)
+
+// liveProxy spins up the filtering proxy plus an origin server, returning
+// a client routed through the proxy.
+func liveProxy(t *testing.T, logFn func(*logfmt.Record)) (*http.Client, *httptest.Server, *Server) {
+	t.Helper()
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "origin:%s", r.URL.Path)
+	}))
+	t.Cleanup(origin.Close)
+
+	srv := &Server{
+		Engine:      policy.Compile(policy.PaperRuleset()),
+		RedirectURL: origin.URL + "/gov-page",
+		LogFunc:     logFn,
+		Now:         func() time.Time { return time.Date(2011, 8, 3, 9, 0, 0, 0, time.UTC) },
+	}
+	proxy := httptest.NewServer(srv)
+	t.Cleanup(proxy.Close)
+
+	proxyURL, err := url.Parse(proxy.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{
+		Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	return client, origin, srv
+}
+
+func TestLiveProxyAllows(t *testing.T) {
+	var recs []logfmt.Record
+	client, origin, _ := liveProxy(t, func(r *logfmt.Record) { recs = append(recs, *r) })
+
+	originHost := strings.TrimPrefix(origin.URL, "http://")
+	resp, err := client.Get("http://" + originHost + "/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "origin:/hello" {
+		t.Fatalf("allowed fetch: %d %q", resp.StatusCode, body)
+	}
+	if len(recs) != 1 || recs[0].Exception != logfmt.ExNone {
+		t.Fatalf("log: %+v", recs)
+	}
+}
+
+func TestLiveProxyDeniesKeyword(t *testing.T) {
+	var recs []logfmt.Record
+	client, origin, srv := liveProxy(t, func(r *logfmt.Record) { recs = append(recs, *r) })
+
+	originHost := strings.TrimPrefix(origin.URL, "http://")
+	resp, err := client.Get("http://" + originHost + "/cgi/proxy.php?u=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Exception-Id"); got != "policy_denied" {
+		t.Errorf("X-Exception-Id = %q", got)
+	}
+	if len(recs) != 1 || recs[0].Exception != logfmt.ExPolicyDenied {
+		t.Fatalf("log: %+v", recs)
+	}
+	if srv.Counts().Censored != 1 {
+		t.Errorf("counts: %+v", srv.Counts())
+	}
+}
+
+func TestLiveProxyDeniesDomain(t *testing.T) {
+	client, _, _ := liveProxy(t, nil)
+	// The proxy filters on the request URL host, no upstream contact
+	// needed for a denial.
+	resp, err := client.Get("http://www.metacafe.com/watch/1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestLiveProxyRedirectsTargetedPage(t *testing.T) {
+	var recs []logfmt.Record
+	client, origin, _ := liveProxy(t, func(r *logfmt.Record) { recs = append(recs, *r) })
+
+	resp, err := client.Get("http://www.facebook.com/Syrian.Revolution?ref=ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("status = %d, want 302", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, origin.URL) {
+		t.Errorf("Location = %q", loc)
+	}
+	if len(recs) != 1 || recs[0].Exception != logfmt.ExPolicyRedirect {
+		t.Fatalf("log: %+v", recs)
+	}
+	if recs[0].Categories != "Blocked sites; unavailable" {
+		t.Errorf("categories = %q", recs[0].Categories)
+	}
+}
+
+func TestLiveProxyConnectDenied(t *testing.T) {
+	_, _, srvPtr := liveProxy(t, nil)
+	proxy := httptest.NewServer(srvPtr)
+	defer proxy.Close()
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(proxy.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "CONNECT conn.skype.com:443 HTTP/1.1\r\nHost: conn.skype.com:443\r\n\r\n")
+	buf := make([]byte, 1024)
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), "403") {
+		t.Fatalf("CONNECT to skype should be denied, got %q", buf[:n])
+	}
+}
+
+func TestLiveProxyConnectTunnels(t *testing.T) {
+	// An origin speaking a trivial echo protocol behind CONNECT.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+
+	srv := &Server{Engine: policy.Compile(policy.PaperRuleset())}
+	proxy := httptest.NewServer(srv)
+	defer proxy.Close()
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(proxy.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "CONNECT %s HTTP/1.1\r\nHost: %s\r\n\r\n", ln.Addr(), ln.Addr())
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	reader := make([]byte, 256)
+	n, err := conn.Read(reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(reader[:n]), "200") {
+		t.Fatalf("CONNECT handshake: %q", reader[:n])
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	echo := make([]byte, 4)
+	if _, err := io.ReadFull(conn, echo); err != nil {
+		t.Fatal(err)
+	}
+	if string(echo) != "ping" {
+		t.Fatalf("echo = %q", echo)
+	}
+}
+
+func TestLiveProxyUpstreamError(t *testing.T) {
+	var recs []logfmt.Record
+	client, _, _ := liveProxy(t, func(r *logfmt.Record) { recs = append(recs, *r) })
+	// 127.0.0.1:1 is reliably refused.
+	resp, err := client.Get("http://127.0.0.1:1/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if len(recs) != 1 || recs[0].Exception != logfmt.ExTCPError {
+		t.Fatalf("log: %+v", recs)
+	}
+}

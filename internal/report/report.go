@@ -1,0 +1,207 @@
+// Package report renders analysis results as aligned text tables and
+// ASCII series, so each of the paper's tables and figures can be printed
+// by cmd/censorlyzer and the examples without any plotting dependency.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends one row; values are formatted with %v.
+func (t *Table) Row(values ...interface{}) *Table {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// FormatFloat renders floats compactly (4 significant decimals max).
+func FormatFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e12 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%.4f", x)
+}
+
+// Percent renders a fraction as "12.34%".
+func Percent(frac float64) string { return fmt.Sprintf("%.2f%%", 100*frac) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.title)))
+		sb.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		// Trim trailing spaces.
+		s := sb.String()
+		trimmed := strings.TrimRight(s, " ")
+		sb.Reset()
+		sb.WriteString(trimmed)
+		sb.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_, _ = t.WriteTo(&sb)
+	return sb.String()
+}
+
+// Series renders a numeric series as a horizontal ASCII bar chart, one
+// row per point: label, value, bar. Used to print the paper's figures.
+func Series(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s %12s |%s\n", labelW, label, FormatFloat(v), strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// Sparkline compresses a series into one line of block characters, for
+// dense time series (Fig 5/6 style).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}
+
+// Downsample reduces a series to at most n points by bucket-averaging,
+// keeping sparklines terminal-width.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package stats
+
+import "math"
+
+// Cosine returns the cosine similarity of two equal-length vectors, the
+// metric the paper uses in §5.2 (Table 6) to compare censored-domain
+// profiles across proxies:
+//
+//	cos(A, B) = Σ AᵢBᵢ / (√Σ Aᵢ² · √Σ Bᵢ²)
+//
+// Returns 0 when either vector is all-zero (no basis for similarity).
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Cosine over vectors of different length")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// CosineCounts computes cosine similarity between two sparse count maps
+// (domain -> request count), aligning keys as the union of both maps.
+func CosineCounts(a, b map[string]uint64) float64 {
+	var dot, na, nb float64
+	for k, av := range a {
+		fa := float64(av)
+		na += fa * fa
+		if bv, ok := b[k]; ok {
+			dot += fa * float64(bv)
+		}
+	}
+	for _, bv := range b {
+		fb := float64(bv)
+		nb += fb * fb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Jaccard returns |A∩B| / |A∪B| for two string sets, used as a secondary
+// similarity measure in the proxy-specialization analysis.
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// SimilarityMatrix computes the full pairwise cosine matrix over n count
+// maps (Table 6). The diagonal is 1 when the profile is non-empty.
+func SimilarityMatrix(profiles []map[string]uint64) [][]float64 {
+	n := len(profiles)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			if i == j {
+				if len(profiles[i]) > 0 {
+					s = 1
+				}
+			} else {
+				s = CosineCounts(profiles[i], profiles[j])
+			}
+			m[i][j] = s
+			m[j][i] = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,458 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBounds(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-1)  // clamps to bucket 0
+	h.Add(0)   // bucket 0
+	h.Add(9.9) // bucket 4
+	h.Add(15)  // clamps to bucket 4
+	h.Add(5)   // bucket 2
+	b := h.Buckets()
+	if b[0] != 2 || b[2] != 1 || b[4] != 2 {
+		t.Errorf("buckets = %v", b)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	b := NewHistogram(0, 1, 4)
+	a.Add(0.1)
+	b.Add(0.1)
+	b.Add(0.9)
+	a.Merge(b)
+	bu := a.Buckets()
+	if bu[0] != 2 || bu[3] != 1 || a.Total() != 3 {
+		t.Errorf("merged = %v total=%d", bu, a.Total())
+	}
+}
+
+func TestHistogramMergeGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on geometry mismatch")
+		}
+	}()
+	NewHistogram(0, 1, 4).Merge(NewHistogram(0, 2, 4))
+}
+
+func TestHistogramBucketMid(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BucketMid(0); got != 1 {
+		t.Errorf("BucketMid(0) = %v", got)
+	}
+	if got := h.BucketMid(4); got != 9 {
+		t.Errorf("BucketMid(4) = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.P(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("median = %v", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.P(1) != 0 {
+		t.Error("empty CDF P != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF quantile not NaN")
+	}
+	if c.Points(10) != nil {
+		t.Error("empty CDF points not nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				samples = append(samples, v)
+			}
+		}
+		c := NewCDF(samples)
+		prev := -1.0
+		for x := -5.0; x <= 5; x += 0.5 {
+			p := c.P(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	pts := c.Points(4)
+	if len(pts) != 4 {
+		t.Fatalf("points len = %d", len(pts))
+	}
+	if pts[3][0] != 8 || pts[3][1] != 1 {
+		t.Errorf("last point = %v", pts[3])
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", w.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-9 {
+		t.Errorf("var = %v", w.Var())
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	if err := quick.Check(func(xs []float64, split uint8) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		cut := int(split) % len(clean)
+		var whole, a, b Welford
+		for _, x := range clean {
+			whole.Add(x)
+		}
+		for _, x := range clean[:cut] {
+			a.Add(x)
+		}
+		for _, x := range clean[cut:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-6 &&
+			math.Abs(a.Var()-whole.Var()) < 1e-6*(1+whole.Var())
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical vectors: %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Errorf("orthogonal vectors: %v", got)
+	}
+	if got := Cosine([]float64{1, 1}, []float64{0, 0}); got != 0 {
+		t.Errorf("zero vector: %v", got)
+	}
+}
+
+func TestCosineCountsMatchesDense(t *testing.T) {
+	a := map[string]uint64{"x": 3, "y": 4}
+	b := map[string]uint64{"y": 4, "z": 3}
+	got := CosineCounts(a, b)
+	want := Cosine([]float64{3, 4, 0}, []float64{0, 4, 3})
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("sparse %v != dense %v", got, want)
+	}
+}
+
+func TestCosineCountsSymmetric(t *testing.T) {
+	if err := quick.Check(func(ka, kb []uint8) bool {
+		a, b := map[string]uint64{}, map[string]uint64{}
+		for _, k := range ka {
+			a[string(rune('a'+k%16))]++
+		}
+		for _, k := range kb {
+			b[string(rune('a'+k%16))]++
+		}
+		x, y := CosineCounts(a, b), CosineCounts(b, a)
+		return math.Abs(x-y) < 1e-12 && x >= -1e-12 && x <= 1+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	set := func(keys ...string) map[string]struct{} {
+		m := map[string]struct{}{}
+		for _, k := range keys {
+			m[k] = struct{}{}
+		}
+		return m
+	}
+	if got := Jaccard(set("a", "b"), set("b", "c")); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("jaccard = %v", got)
+	}
+	if got := Jaccard(set(), set()); got != 0 {
+		t.Errorf("empty jaccard = %v", got)
+	}
+}
+
+func TestSimilarityMatrix(t *testing.T) {
+	profiles := []map[string]uint64{
+		{"a": 10, "b": 1},
+		{"a": 9, "b": 2},
+		{"z": 5},
+	}
+	m := SimilarityMatrix(profiles)
+	if m[0][0] != 1 || m[2][2] != 1 {
+		t.Error("diagonal not 1")
+	}
+	if m[0][1] != m[1][0] {
+		t.Error("matrix not symmetric")
+	}
+	if m[0][2] != 0 {
+		t.Errorf("disjoint profiles similarity = %v", m[0][2])
+	}
+	if m[0][1] < 0.9 {
+		t.Errorf("similar profiles similarity = %v", m[0][1])
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	z, err := NewZipf(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(5)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(r)]++
+	}
+	// Rank 0 should be about twice rank 1 and about 10x rank 9 for s=1.
+	r01 := float64(counts[0]) / float64(counts[1])
+	if r01 < 1.8 || r01 > 2.2 {
+		t.Errorf("rank0/rank1 = %v, want ~2", r01)
+	}
+	r09 := float64(counts[0]) / float64(counts[9])
+	if r09 < 8.5 || r09 > 11.5 {
+		t.Errorf("rank0/rank9 = %v, want ~10", r09)
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0,1) should fail")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10,0) should fail")
+	}
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	// Generate a continuous power law with alpha=2.5 via inverse transform:
+	// x = xmin * (1-u)^(-1/(alpha-1)).
+	r := NewRand(21)
+	const alpha, xmin = 2.5, 1.0
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = xmin * math.Pow(1-r.Float64(), -1/(alpha-1))
+	}
+	fit, err := FitPowerLaw(samples, xmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.05 {
+		t.Errorf("fitted alpha = %v, want ~%v", fit.Alpha, alpha)
+	}
+	if fit.N != len(samples) {
+		t.Errorf("fit.N = %d", fit.N)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("xmin=0 should fail")
+	}
+	if _, err := FitPowerLaw([]float64{0.1, 0.2}, 1); err == nil {
+		t.Error("no samples above xmin should fail")
+	}
+}
+
+func TestFreqOfFreq(t *testing.T) {
+	got := FreqOfFreq([]uint64{1, 1, 2, 5, 5, 5})
+	want := [][2]uint64{{1, 2}, {2, 1}, {5, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	iv, err := ProportionCI(500, 1000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.P-0.5) > 1e-12 {
+		t.Errorf("P = %v", iv.P)
+	}
+	halfWant := 1.959963984540054 * math.Sqrt(0.25/1000)
+	if math.Abs((iv.Hi-iv.Lo)/2-halfWant) > 1e-9 {
+		t.Errorf("half-width = %v, want %v", (iv.Hi-iv.Lo)/2, halfWant)
+	}
+}
+
+// The paper's §3.3 claim: with n = 32M the proportion is within ±0.0001 at
+// 95% confidence. Verify our CI math reproduces that.
+func TestPaperSampleClaim(t *testing.T) {
+	n := uint64(32_310_958)
+	iv, err := ProportionCI(n/2, n, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := (iv.Hi - iv.Lo) / 2
+	if half > 0.0002 {
+		t.Errorf("half-width at n=32M is %v, paper claims <= 1e-4 scale", half)
+	}
+	need, err := SampleSizeForHalfWidth(0.0002, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need > n {
+		t.Errorf("needed n %d should be <= paper's sample %d", need, n)
+	}
+}
+
+func TestWilsonCIBehavesAtExtremes(t *testing.T) {
+	iv, err := WilsonCI(0, 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 0 || iv.Hi <= 0 || iv.Hi > 0.5 {
+		t.Errorf("Wilson(0/10) = [%v, %v]", iv.Lo, iv.Hi)
+	}
+	iv, err = WilsonCI(10, 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Hi != 1 || iv.Lo >= 1 || iv.Lo < 0.5 {
+		t.Errorf("Wilson(10/10) = [%v, %v]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestCIErrors(t *testing.T) {
+	if _, err := ProportionCI(1, 0, 0.95); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ProportionCI(2, 1, 0.95); err == nil {
+		t.Error("successes > n should fail")
+	}
+	if _, err := ProportionCI(1, 2, 0.80); err == nil {
+		t.Error("unsupported confidence should fail")
+	}
+	if _, err := SampleSizeForHalfWidth(0, 0.95); err == nil {
+		t.Error("h=0 should fail")
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	h := NewHyperLogLog(14)
+	const n = 100000
+	r := NewRand(77)
+	seen := make(map[uint64]struct{}, n)
+	for len(seen) < n {
+		v := r.Uint64()
+		seen[v] = struct{}{}
+		h.AddHash(v)
+	}
+	est := float64(h.Estimate())
+	if math.Abs(est-n)/n > 0.03 {
+		t.Errorf("HLL estimate %v for true %d (err %.2f%%)", est, n, 100*math.Abs(est-n)/n)
+	}
+}
+
+func TestHLLSmallRange(t *testing.T) {
+	h := NewHyperLogLog(10)
+	for i := 0; i < 50; i++ {
+		h.Add(string(rune('a' + i)))
+	}
+	est := h.Estimate()
+	if est < 45 || est > 55 {
+		t.Errorf("small-range estimate = %d, want ~50", est)
+	}
+}
+
+func TestHLLDuplicatesDontInflate(t *testing.T) {
+	h := NewHyperLogLog(12)
+	for i := 0; i < 10000; i++ {
+		h.Add("same-key")
+	}
+	if est := h.Estimate(); est != 1 {
+		t.Errorf("estimate of singleton stream = %d", est)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, b := NewHyperLogLog(12), NewHyperLogLog(12)
+	r := NewRand(123)
+	for i := 0; i < 5000; i++ {
+		v := r.Uint64()
+		a.AddHash(v)
+		b.AddHash(v) // same elements: merge must not double count
+	}
+	for i := 0; i < 5000; i++ {
+		b.AddHash(r.Uint64())
+	}
+	a.Merge(b)
+	est := float64(a.Estimate())
+	if math.Abs(est-10000)/10000 > 0.05 {
+		t.Errorf("merged estimate %v, want ~10000", est)
+	}
+}
+
+func TestHLLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad precision")
+		}
+	}()
+	NewHyperLogLog(3)
+}
+
+func TestHash64Stable(t *testing.T) {
+	// FNV-1a known-answer test.
+	if got := Hash64(""); got != 14695981039346656037 {
+		t.Errorf("Hash64(\"\") = %d", got)
+	}
+	if Hash64("a") == Hash64("b") {
+		t.Error("trivial collision")
+	}
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Add("a")
+	c.AddN("b", 3)
+	c.Add("a")
+	if got := c.Count("a"); got != 2 {
+		t.Errorf("Count(a) = %d", got)
+	}
+	if got := c.Count("b"); got != 3 {
+		t.Errorf("Count(b) = %d", got)
+	}
+	if got := c.Count("missing"); got != 0 {
+		t.Errorf("Count(missing) = %d", got)
+	}
+	if c.Total() != 5 || c.Len() != 2 {
+		t.Errorf("Total=%d Len=%d", c.Total(), c.Len())
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	a.AddN("x", 2)
+	b.AddN("x", 3)
+	b.AddN("y", 1)
+	a.Merge(b)
+	if a.Count("x") != 5 || a.Count("y") != 1 || a.Total() != 6 {
+		t.Errorf("merged counter wrong: x=%d y=%d total=%d", a.Count("x"), a.Count("y"), a.Total())
+	}
+}
+
+func TestCounterTopOrderingDeterministic(t *testing.T) {
+	c := NewCounter()
+	c.AddN("zeta", 5)
+	c.AddN("alpha", 5)
+	c.AddN("mid", 7)
+	top := c.Top(3)
+	if top[0].Key != "mid" || top[1].Key != "alpha" || top[2].Key != "zeta" {
+		t.Errorf("Top order = %v", top)
+	}
+}
+
+func TestCounterTopLimits(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 10; i++ {
+		c.AddN(fmt.Sprintf("k%d", i), uint64(i+1))
+	}
+	if got := len(c.Top(3)); got != 3 {
+		t.Errorf("Top(3) len = %d", got)
+	}
+	if got := len(c.Top(0)); got != 10 {
+		t.Errorf("Top(0) len = %d", got)
+	}
+	if got := len(c.Top(100)); got != 10 {
+		t.Errorf("Top(100) len = %d", got)
+	}
+}
+
+func TestTopKExactWhenUnderCapacity(t *testing.T) {
+	tk := NewTopK(16)
+	data := map[string]uint64{"a": 5, "b": 3, "c": 9}
+	for k, n := range data {
+		tk.AddN(k, n)
+	}
+	for k, n := range data {
+		got, errB, ok := tk.Estimate(k)
+		if !ok || got != n || errB != 0 {
+			t.Errorf("Estimate(%s) = %d±%d ok=%v, want exact %d", k, got, errB, ok, n)
+		}
+	}
+}
+
+// Space-Saving guarantee: any key with true count > N/capacity must be
+// tracked, and estimates never underestimate.
+func TestTopKHeavyHitterGuarantee(t *testing.T) {
+	const capacity = 32
+	tk := NewTopK(capacity)
+	truth := NewCounter()
+	r := NewRand(99)
+	z, err := NewZipf(500, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("d%03d", z.Rank(r))
+		tk.Add(key)
+		truth.Add(key)
+	}
+	threshold := uint64(n / capacity)
+	truth.Each(func(key string, count uint64) {
+		if count <= threshold {
+			return
+		}
+		est, _, ok := tk.Estimate(key)
+		if !ok {
+			t.Errorf("heavy hitter %q (count %d > %d) not tracked", key, count, threshold)
+			return
+		}
+		if est < count {
+			t.Errorf("estimate %d underestimates true count %d for %q", est, count, key)
+		}
+	})
+}
+
+func TestTopKErrorBound(t *testing.T) {
+	tk := NewTopK(8)
+	truth := NewCounter()
+	r := NewRand(7)
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("k%d", r.Intn(64))
+		tk.Add(key)
+		truth.Add(key)
+	}
+	truth.Each(func(key string, count uint64) {
+		est, errB, ok := tk.Estimate(key)
+		if !ok {
+			return
+		}
+		if est-errB > count {
+			t.Errorf("key %q: est-err %d > true %d", key, est-errB, count)
+		}
+	})
+}
+
+func TestTopKMergePreservesNoUnderestimate(t *testing.T) {
+	a, b := NewTopK(16), NewTopK(16)
+	truth := NewCounter()
+	r := NewRand(3)
+	z, err := NewZipf(64, 1.3) // skewed stream: heavy hitters are real
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("k%d", z.Rank(r))
+		truth.Add(key)
+		if i%2 == 0 {
+			a.Add(key)
+		} else {
+			b.Add(key)
+		}
+	}
+	a.Merge(b)
+	for _, e := range truth.Top(4) {
+		est, _, ok := a.Estimate(e.Key)
+		if !ok {
+			t.Errorf("merged sketch lost heavy key %q", e.Key)
+			continue
+		}
+		if est < e.Count {
+			t.Errorf("merged estimate %d < true %d for %q", est, e.Count, e.Key)
+		}
+	}
+}
+
+func TestTopKPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTopK(0)
+}
+
+func TestTopKMatchesCounterOnSmallStreams(t *testing.T) {
+	if err := quick.Check(func(keys []uint8) bool {
+		tk := NewTopK(256) // capacity exceeds distinct keys: must be exact
+		c := NewCounter()
+		for _, k := range keys {
+			s := fmt.Sprintf("%d", k)
+			tk.Add(s)
+			c.Add(s)
+		}
+		ct, st := c.Top(10), tk.Top(10)
+		if len(ct) != len(st) {
+			return false
+		}
+		for i := range ct {
+			if ct[i] != st[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package strmatch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAhoCorasickBasics(t *testing.T) {
+	ac := NewAhoCorasick([]string{"proxy", "israel", "hotspotshield"})
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"facebook.com/ajax/proxy.php", true},
+		{"www.israelnews.example", true},
+		{"hotspotshield.com", true},
+		{"google.com/search?q=weather", false},
+		{"", false},
+		{"prox", false},
+		{"pproxyy", true},
+	}
+	for _, tc := range cases {
+		if got := ac.Contains(tc.text); got != tc.want {
+			t.Errorf("Contains(%q) = %v, want %v", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestAhoCorasickOverlappingPatterns(t *testing.T) {
+	ac := NewAhoCorasick([]string{"he", "she", "his", "hers"})
+	got := ac.FindAll("ushers")
+	// "ushers" contains "she" (1), "he" (0), "hers" (3).
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("FindAll = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FindAll = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAhoCorasickFirst(t *testing.T) {
+	ac := NewAhoCorasick([]string{"bbb", "aa"})
+	if got := ac.First("xxaayy"); got != 1 {
+		t.Errorf("First = %d, want 1", got)
+	}
+	if got := ac.First("zzz"); got != -1 {
+		t.Errorf("First on miss = %d", got)
+	}
+}
+
+func TestAhoCorasickEmptyAndDuplicates(t *testing.T) {
+	ac := NewAhoCorasick([]string{"", "x", "x", "y"})
+	if got := len(ac.Patterns()); got != 2 {
+		t.Errorf("patterns kept = %d, want 2", got)
+	}
+	if ac.Contains("") {
+		t.Error("empty text matched")
+	}
+	empty := NewAhoCorasick(nil)
+	if empty.Contains("anything") || empty.First("x") != -1 || empty.FindAll("x") != nil {
+		t.Error("empty automaton matched")
+	}
+}
+
+// Property: the automaton agrees with the naive scanner on random inputs.
+func TestAhoCorasickMatchesNaive(t *testing.T) {
+	alphabet := []string{"pro", "xy", "il", "face", "book", ".", "/", "a", "b"}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(patIdx []uint8, textIdx []uint8) bool {
+		var pats []string
+		for _, i := range patIdx {
+			p := alphabet[int(i)%len(alphabet)] + alphabet[int(i/2)%len(alphabet)]
+			pats = append(pats, p)
+		}
+		var sb strings.Builder
+		for _, i := range textIdx {
+			sb.WriteString(alphabet[int(i)%len(alphabet)])
+		}
+		text := sb.String()
+		ac := NewAhoCorasick(pats)
+		return ac.Contains(text) == ContainsNaive(pats, text)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAhoCorasickFindAllMatchesNaive(t *testing.T) {
+	pats := []string{"ab", "bc", "abc", "cc", "b"}
+	ac := NewAhoCorasick(pats)
+	texts := []string{"abcc", "xbx", "", "ccc", "aabbcc", "abcabc"}
+	for _, text := range texts {
+		got := ac.FindAll(text)
+		var want []int
+		for i, p := range pats {
+			if indexOf(text, p) >= 0 {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("FindAll(%q) = %v, want %v", text, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("FindAll(%q) = %v, want %v", text, got, want)
+			}
+		}
+	}
+}
+
+func TestSuffixSet(t *testing.T) {
+	s := NewSuffixSet([]string{"skype.com", ".Metacafe.com", "il", ""})
+	cases := []struct {
+		host string
+		want bool
+		via  string
+	}{
+		{"skype.com", true, "skype.com"},
+		{"download.skype.com", true, "skype.com"},
+		{"notskype.com", false, ""},
+		{"www.metacafe.com", true, "metacafe.com"},
+		{"panet.co.il", true, "il"},
+		{"il", true, "il"},
+		{"ilx", false, ""},
+		{"", false, ""},
+	}
+	for _, tc := range cases {
+		via, got := s.Match(tc.host)
+		if got != tc.want || via != tc.via {
+			t.Errorf("Match(%q) = %q,%v want %q,%v", tc.host, via, got, tc.via, tc.want)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSuffixSetAdd(t *testing.T) {
+	s := NewSuffixSet(nil)
+	if s.Contains("x.com") {
+		t.Error("empty set matched")
+	}
+	s.Add("X.com")
+	if !s.Contains("a.x.com") {
+		t.Error("added suffix not matched")
+	}
+	if got := len(s.Suffixes()); got != 1 {
+		t.Errorf("Suffixes len = %d", got)
+	}
+}
+
+// Property: Match(host) agrees with a naive suffix check.
+func TestSuffixSetMatchesNaive(t *testing.T) {
+	suffixes := []string{"a.com", "b.org", "il", "c.co.il"}
+	s := NewSuffixSet(suffixes)
+	naive := func(host string) bool {
+		for _, suf := range suffixes {
+			if host == suf || strings.HasSuffix(host, "."+suf) {
+				return true
+			}
+		}
+		return false
+	}
+	labels := []string{"a", "b", "c", "com", "org", "il", "co"}
+	if err := quick.Check(func(idx []uint8) bool {
+		parts := make([]string, 0, len(idx)%5+1)
+		for _, i := range idx {
+			parts = append(parts, labels[int(i)%len(labels)])
+			if len(parts) >= 5 {
+				break
+			}
+		}
+		host := strings.Join(parts, ".")
+		return s.Contains(host) == naive(host)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAhoCorasickContains(b *testing.B) {
+	ac := NewAhoCorasick([]string{"proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf"})
+	text := "www.facebook.com/plugins/like.php?href=http%3A%2F%2Fexample.com&layout=standard"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ac.Contains(text)
+	}
+}
+
+func BenchmarkNaiveContains(b *testing.B) {
+	pats := []string{"proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf"}
+	text := "www.facebook.com/plugins/like.php?href=http%3A%2F%2Fexample.com&layout=standard"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ContainsNaive(pats, text)
+	}
+}
+
+func BenchmarkSuffixSetMatch(b *testing.B) {
+	domains := make([]string, 0, 105)
+	for i := 0; i < 105; i++ {
+		domains = append(domains, strings.Repeat("d", i%8+1)+".example"+string(rune('a'+i%26))+".com")
+	}
+	s := NewSuffixSet(domains)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Contains("deep.sub.domain.dddd.examplec.com")
+	}
+}

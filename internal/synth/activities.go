@@ -1,0 +1,642 @@
+package synth
+
+import (
+	"fmt"
+
+	"syriafilter/internal/bittorrent"
+	"syriafilter/internal/stats"
+	"syriafilter/internal/torsim"
+	"syriafilter/internal/urlx"
+)
+
+// headSite is one of the high-traffic destinations of Table 4.
+type headSite struct {
+	host   string
+	weight float64
+	kind   headKind
+}
+
+type headKind uint8
+
+const (
+	hkGoogle headKind = iota
+	hkXvideos
+	hkFacebook
+	hkMicrosoft
+	hkWindowsUpdate
+	hkMSNPortal
+	hkYahoo
+	hkYouTube
+	hkWikipedia
+	hkTwitter
+	hkAmazon
+	hkDailymotion
+	hkNewsAllowed
+	hkLiveWeb
+	hkPlain
+)
+
+// headSites carries Table 4's allowed-domain mix. gstatic/fbcdn/analytics/
+// doubleclick volume arrives as page assets rather than direct visits.
+var headSites = []headSite{
+	{"www.google.com", 24, hkGoogle},
+	{"www.xvideos.com", 9, hkXvideos},
+	{"www.facebook.com", 14, hkFacebook},
+	{"www.microsoft.com", 8, hkMicrosoft},
+	{"update.windowsupdate.com", 7.5, hkWindowsUpdate},
+	{"www.msn.com", 5, hkMSNPortal},
+	{"www.yahoo.com", 4.5, hkYahoo},
+	{"www.youtube.com", 6, hkYouTube},
+	{"ar.wikipedia.org", 2.0, hkWikipedia},
+	{"twitter.com", 2.8, hkTwitter},
+	{"www.amazon.com", 0.06, hkAmazon},
+	{"www.dailymotion.com", 1.6, hkDailymotion},
+	{"news.bbc.co.uk", 1.4, hkNewsAllowed},
+	{"www.live.com", 1.8, hkLiveWeb},
+	// Smaller social networks (Table 13): linkedin/hi5/skyrock mostly
+	// allowed; badoo and netlog are URL-blacklisted so every visit is
+	// censored (the paper's "never allowed" pair).
+	{"www.linkedin.com", 0.35, hkPlain},
+	{"www.hi5.com", 0.2, hkPlain},
+	{"www.skyrock.com", 0.08, hkPlain},
+	{"www.badoo.com", 0.05, hkPlain},
+	{"www.netlog.com", 0.04, hkPlain},
+	{"www.flickr.com", 0.3, hkPlain},
+	{"www.ning.com", 0.05, hkPlain},
+	{"www.meetup.com", 0.02, hkPlain},
+}
+
+var headCum = func() []float64 {
+	cum := make([]float64, len(headSites))
+	total := 0.0
+	for i, s := range headSites {
+		total += s.weight
+		cum[i] = total
+	}
+	return cum
+}()
+
+var searchWords = []string{
+	"weather", "football", "news", "music", "movies", "recipes", "jobs",
+	"damascus", "aleppo", "homs", "university", "currency", "mobile",
+	"syria", "lebanon", "ramadan",
+}
+
+// toolWords are anti-censorship tool names users search for; any URL
+// carrying them is keyword-censored, across many otherwise-allowed
+// domains — the cross-domain collateral §5.4 describes.
+var toolWords = []string{"hotspotshield", "ultrasurf", "ultrareach"}
+
+// emitHeadVisit renders one visit to a Table 4 head domain, with the
+// page-asset fan-out that inflates allowed traffic (§4).
+func (g *Generator) emitHeadVisit(u *user, t func() int64) {
+	site := headSites[g.r.WeightedChoice(headCum)]
+	switch site.kind {
+	case hkGoogle:
+		q := "q=" + searchWords[g.r.Intn(len(searchWords))]
+		g.push(u, t(), site.host, 80, "/search", q)
+		if g.r.Bool(0.55) {
+			g.push(u, t(), "www.gstatic.com", 80, fmt.Sprintf("/ui/v1/sprite%d.png", g.r.Intn(9)), "")
+		}
+		// Toolbar-equipped clients fire the §5.4 collateral-damage call.
+		if g.r.Bool(0.008) {
+			g.push(u, t(), "www.google.com", 80, "/tbproxy/af/query", q)
+		}
+		// Occasional cached-copy click from the results page (§7.4).
+		if g.r.Bool(0.003) {
+			g.emitGCache(u, t)
+		}
+	case hkXvideos:
+		g.push(u, t(), site.host, 80, fmt.Sprintf("/video%d/", g.r.Intn(99999)), "")
+		g.push(u, t(), "static.xvideos.com", 80, "/v2/css/main.css", "")
+		g.pushAdsMaybe(u, t, 0.4)
+	case hkFacebook:
+		paths := []string{"/home.php", "/profile.php", "/friends/", "/photo.php"}
+		g.push(u, t(), site.host, 80, paths[g.r.Intn(len(paths))], fbQuery(g, false))
+		for i := 0; i < 1+g.r.Intn(2); i++ {
+			g.push(u, t(), "static.ak.fbcdn.net", 80,
+				fmt.Sprintf("/rsrc.php/v1/y%d/r/asset%d.png", g.r.Intn(9), g.r.Intn(512)), "")
+		}
+	case hkMicrosoft:
+		if g.r.Bool(0.3) {
+			g.push(u, t(), site.host, 80, "/en-us/download/details.aspx", fmt.Sprintf("id=%d", g.r.Intn(9999)))
+		} else {
+			g.push(u, t(), site.host, 80, "/en-us/default.aspx", "")
+		}
+	case hkWindowsUpdate:
+		g.push(u, t(), site.host, 80, "/v9/windowsupdate/selfupdate/wuident.cab", fmt.Sprintf("%x", g.r.Uint32()))
+	case hkMSNPortal:
+		g.push(u, t(), site.host, 80, "/", "")
+		g.push(u, t(), "col.stb.s-msn.com", 80, "/i/hp/logo.png", "")
+		g.pushAdsMaybe(u, t, 0.4)
+	case hkYahoo:
+		// A slice of Yahoo component URLs carry the keyword (Table 4 shows
+		// yahoo.com among the censored despite being mostly allowed).
+		if g.r.Bool(0.035) {
+			g.push(u, t(), "www.yahoo.com", 80, "/sdk/ajax_proxy.php", "cb="+fmt.Sprint(g.r.Intn(9999)))
+		} else {
+			g.push(u, t(), site.host, 80, "/", "")
+		}
+		g.push(u, t(), "l.yimg.com", 80, "/a/i/ww/met/th/logo.png", "")
+	case hkYouTube:
+		g.push(u, t(), site.host, 80, "/watch", fmt.Sprintf("v=%08x", g.r.Uint32()))
+		g.push(u, t(), "i.ytimg.com", 80, fmt.Sprintf("/vi/%08x/default.jpg", g.r.Uint32()), "")
+	case hkWikipedia:
+		g.push(u, t(), site.host, 80, "/wiki/"+searchWords[g.r.Intn(len(searchWords))], "")
+		// Wikipedia pages pull media from the blocked wikimedia.org
+		// domain — the mechanism behind Table 4/8's wikimedia entries.
+		if g.r.Bool(0.08) {
+			g.push(u, t(), "upload.wikimedia.org", 80,
+				fmt.Sprintf("/wikipedia/commons/thumb/img%d.jpg", g.r.Intn(2048)), "")
+		}
+	case hkTwitter:
+		g.push(u, t(), site.host, 80, "/", "")
+		// A rare Twitter widget URL carries the keyword (163 censored
+		// requests in Table 13 against 2.8M allowed).
+		if g.r.Bool(0.0005) {
+			g.push(u, t(), "twitter.com", 80, "/statuses/proxy_widget.js", "")
+		}
+	case hkAmazon:
+		g.push(u, t(), site.host, 80, fmt.Sprintf("/dp/B%07d", g.r.Intn(9999999)), "")
+	case hkDailymotion:
+		g.push(u, t(), site.host, 80, fmt.Sprintf("/video/x%05x", g.r.Intn(0xfffff)), "")
+		g.pushAdsMaybe(u, t, 0.4)
+	case hkNewsAllowed:
+		g.push(u, t(), site.host, 80, "/news/world-middle-east-"+fmt.Sprint(10000000+g.r.Intn(999999)), "")
+		g.pushAdsMaybe(u, t, 0.4)
+	case hkLiveWeb:
+		g.push(u, t(), "www.live.com", 80, "/", "")
+	case hkPlain:
+		g.push(u, t(), site.host, 80, "/", "")
+		if g.r.Bool(0.3) {
+			g.push(u, t(), site.host, 80, fmt.Sprintf("/profile/%d", g.r.Intn(99999)), "")
+		}
+	}
+	g.maybePlugin(u, t, 0.004)
+	g.maybeAnalytics(u, t)
+}
+
+// emitTailVisit renders a Zipf long-tail page visit with same-domain
+// assets (Fig. 2's power law body).
+func (g *Generator) emitTailVisit(u *user, t func() int64) {
+	host := g.w.tail[g.w.tailZipf.Rank(g.r)]
+	g.push(u, t(), host, 80, "/", "")
+	for i, n := 0, g.r.Intn(4); i < n; i++ {
+		g.push(u, t(), host, 80, fmt.Sprintf("/static/a%d.css", i), "")
+	}
+	g.maybeAnalytics(u, t)
+	g.pushAdsMaybe(u, t, 0.18)
+	g.maybePlugin(u, t, 0.004)
+}
+
+// pushAds emits one ad-network asset. A sliver of ad URLs carries the
+// keyword (the paper's "ads delivery networks blocked as they generate
+// requests containing the word proxy").
+func (g *Generator) pushAds(u *user, t func() int64) {
+	if g.r.Bool(0.0015) {
+		g.push(u, t(), "ad.doubleclick.net", 80, "/adj/site/proxy;sz=728x90", fmt.Sprintf("ord=%d", g.r.Intn(1e9)))
+		return
+	}
+	hosts := []string{"ad.doubleclick.net", "cdn.trafficholder.com", "media.adbrite.com"}
+	g.push(u, t(), hosts[g.r.Intn(len(hosts))], 80, fmt.Sprintf("/ads/banner%d.gif", g.r.Intn(64)), "")
+}
+
+func (g *Generator) pushAdsMaybe(u *user, t func() int64, p float64) {
+	if g.r.Bool(p) {
+		g.pushAds(u, t)
+	}
+}
+
+func (g *Generator) maybeAnalytics(u *user, t func() int64) {
+	if g.r.Bool(0.06) {
+		g.push(u, t(), "www.google-analytics.com", 80, "/__utm.gif", fmt.Sprintf("utmn=%d", g.r.Intn(1e9)))
+	}
+}
+
+// fbPluginPaths reproduce Table 15's element mix (weights ∝ the table).
+var fbPluginPaths = []struct {
+	path   string
+	weight float64
+}{
+	{"/plugins/like.php", 43},
+	{"/extern/login_status.php", 39},
+	{"/plugins/likebox.php", 4.8},
+	{"/plugins/send.php", 4.4},
+	{"/plugins/comments.php", 3.4},
+	{"/fbml/fbjs_ajax_proxy.php", 2.6},
+	{"/connect/canvas_proxy.php", 2.5},
+	{"/ajax/proxy.php", 0.10},
+	{"/platform/page_proxy.php", 0.09},
+	{"/plugins/facepile.php", 0.04},
+}
+
+var fbPluginCum = func() []float64 {
+	cum := make([]float64, len(fbPluginPaths))
+	total := 0.0
+	for i, p := range fbPluginPaths {
+		total += p.weight
+		cum[i] = total
+	}
+	return cum
+}()
+
+// maybePlugin embeds a Facebook social-plugin request with probability p.
+// Plugin URLs always carry the keyword (Table 15: zero allowed requests
+// for every plugin element), in the path or in the proxied href query.
+func (g *Generator) maybePlugin(u *user, t func() int64, p float64) {
+	if !g.r.Bool(p) {
+		return
+	}
+	g.pushPlugin(u, t)
+}
+
+func (g *Generator) pushPlugin(u *user, t func() int64) {
+	pp := fbPluginPaths[g.r.WeightedChoice(fbPluginCum)]
+	query := fmt.Sprintf("app_id=%d&href=site-%d.example.com&fb_proxy=1&locale=ar_AR",
+		100000+g.r.Intn(899999), g.r.Intn(4096))
+	g.push(u, t(), "www.facebook.com", 80, pp.path, query)
+}
+
+// emitPluginPage is a plugin-heavy third-party page (flagged users).
+func (g *Generator) emitPluginPage(u *user, t func() int64) {
+	host := g.w.tail[g.w.tailZipf.Rank(g.r)]
+	g.push(u, t(), host, 80, "/article.php", fmt.Sprintf("id=%d", g.r.Intn(9999)))
+	for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+		g.pushPlugin(u, t)
+	}
+	g.maybeAnalytics(u, t)
+}
+
+// emitSkype is the Skype client behaviour: repeated update checks and
+// CONNECT attempts, all censored (skype.com is domain-blocked). The paper
+// observes exactly this: 9% of Skype requests are denied update attempts
+// and client software retries augment user activity.
+func (g *Generator) emitSkype(u *user, t func() int64) {
+	n := 3 + g.r.Intn(7)
+	for i := 0; i < n; i++ {
+		if g.r.Bool(0.08) {
+			g.pushConnect(u, t(), "conn.skype.com", 443)
+		} else if g.r.Bool(0.25) {
+			g.push(u, t(), "ui.skype.com", 80, "/ui/0/5.3.0.120/en/getlatestversion", "ver=5.3.0.120")
+		} else {
+			g.push(u, t(), "www.skype.com", 80, "/go/upgrade", "")
+		}
+	}
+}
+
+// emitMSN is MSN messenger signaling plus CEIP telemetry (live.com /
+// ceipmsn.com in Table 4's censored column).
+func (g *Generator) emitMSN(u *user, t func() int64) {
+	n := 3 + g.r.Intn(6)
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(5) {
+		case 0, 1, 2:
+			g.push(u, t(), "messenger.live.com", 80, "/gateway/gateway.dll", "Action=poll&SessionID="+fmt.Sprint(g.r.Intn(1e6)))
+		case 3:
+			g.push(u, t(), "ceipmsn.com", 80, "/data/upload.aspx", "")
+		default:
+			g.push(u, t(), "www.msn.com", 80, "/", "")
+		}
+	}
+}
+
+// emitMetacafe is the blocked video site loop (Table 4/8's top censored
+// domain; routed to SG-48 by the cluster).
+func (g *Generator) emitMetacafe(u *user, t func() int64) {
+	n := 5 + g.r.Intn(9)
+	for i := 0; i < n; i++ {
+		g.push(u, t(), "www.metacafe.com", 80,
+			fmt.Sprintf("/watch/%d/clip_%d/", 1000000+g.r.Intn(8999999), g.r.Intn(999)), "")
+	}
+}
+
+// emitZynga mixes allowed game pages with proxy-bearing tracker calls
+// (zynga.com appears in both Table 4 columns).
+func (g *Generator) emitZynga(u *user, t func() int64) {
+	g.push(u, t(), "apps.facebook.com", 80, "/texas_holdem/", "")
+	n := 2 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		if g.r.Bool(0.55) {
+			g.push(u, t(), "fb.zynga.com", 80, "/dailygames/proxy/track.php", fmt.Sprintf("g=%d", g.r.Intn(64)))
+		} else {
+			g.push(u, t(), "www.zynga.com", 80, fmt.Sprintf("/games/asset%d.swf", g.r.Intn(256)), "")
+		}
+	}
+}
+
+// emitNews visits opposition/news sites: the URL-blacklisted ones of
+// Tables 8/9 plus allowed mainstream outlets.
+func (g *Generator) emitNews(u *user, t func() int64) {
+	// Most sessions hit the generated blocked-news tail, so Table 9's
+	// domain count is dominated by news sites; named outlets get the
+	// volume.
+	for i, n := 0, 1+g.r.Intn(2); i < n; i++ {
+		d := g.w.blockedNews[g.r.Intn(len(g.w.blockedNews))]
+		g.push(u, t(), d, 80, "/article/"+fmt.Sprint(g.r.Intn(9999)), "")
+	}
+	switch g.r.Intn(10) {
+	case 0, 1, 2:
+		g.push(u, t(), "www.aawsat.com", 80, fmt.Sprintf("/details.asp?article=%d", g.r.Intn(99999)), "")
+	case 3:
+		g.push(u, t(), "all4syria.info", 80, "/web/archives/"+fmt.Sprint(g.r.Intn(99999)), "")
+	case 4:
+		g.push(u, t(), "www.islammemo.cc", 80, "/akhbar/arab-news/"+fmt.Sprint(g.r.Intn(9999)), "")
+	case 5:
+		g.push(u, t(), "www.alquds.co.uk", 80, "/today/"+fmt.Sprint(g.r.Intn(999)), "")
+	case 6:
+		g.push(u, t(), "new-syria.com", 80, "/", "")
+	case 7:
+		g.push(u, t(), "www.free-syria.com", 80, "/loadarticle.php", fmt.Sprintf("id=%d", g.r.Intn(9999)))
+	default:
+		d := g.w.blockedNews[g.r.Intn(len(g.w.blockedNews))]
+		g.push(u, t(), d, 80, "/", "")
+	}
+	// Some sessions also touch blocked forums / uncategorized hosts.
+	if g.r.Bool(0.35) {
+		d := g.w.blockedForums[g.r.Intn(len(g.w.blockedForums))]
+		g.push(u, t(), d, 80, "/showthread.php", fmt.Sprintf("t=%d", g.r.Intn(99999)))
+	}
+	if g.r.Bool(0.3) {
+		d := g.w.blockedMisc[g.r.Intn(len(g.w.blockedMisc))]
+		g.push(u, t(), d, 80, "/", "")
+	}
+	if g.r.Bool(0.35) {
+		d := g.w.blockedExtra[g.r.Intn(len(g.w.blockedExtra))]
+		g.push(u, t(), d, 80, "/watch/"+fmt.Sprint(g.r.Intn(9999)), "")
+	}
+	if g.r.Bool(0.3) {
+		g.push(u, t(), "english.aljazeera.net", 80, "/news/middleeast/"+fmt.Sprint(g.r.Intn(9999)), "")
+	}
+	// Israel coverage in mainstream outlets: the keyword in the path gets
+	// the article censored on otherwise-allowed domains.
+	if g.r.Bool(0.3) {
+		hosts := []string{"news.bbc.co.uk", "english.aljazeera.net", "ar.wikipedia.org"}
+		h := hosts[g.r.Intn(len(hosts))]
+		path := "/news/israel-border-report-" + fmt.Sprint(g.r.Intn(9999))
+		if h == "ar.wikipedia.org" {
+			path = "/wiki/israel"
+		}
+		g.push(u, t(), h, 80, path, "")
+	}
+	if g.r.Bool(0.1) {
+		g.push(u, t(), "www.google.com", 80, "/search", "q=israel+news")
+	}
+}
+
+// emitIsraeli requests Israeli destinations: .il domains (TLD-blocked) and
+// raw IPs in the Table 12 subnets.
+func (g *Generator) emitIsraeli(u *user, t func() int64) {
+	if g.r.Bool(0.45) {
+		hosts := []string{"www.panet.co.il", "www.ynet.co.il", "walla.co.il", "sport5.co.il"}
+		g.push(u, t(), hosts[g.r.Intn(len(hosts))], 80, "/", "")
+		return
+	}
+	ip := g.israeliIPs[g.r.Intn(len(g.israeliIPs))]
+	host := urlx.FormatIPv4(ip)
+	if g.r.Bool(0.1) {
+		g.pushConnect(u, t(), host, 443)
+	} else {
+		g.push(u, t(), host, 80, "", "")
+	}
+}
+
+// emitIPLiteral requests a raw-IP destination in Table 11's country mix.
+func (g *Generator) emitIPLiteral(u *user, t func() int64) {
+	c := g.countryKeys[g.r.WeightedChoice(g.countryCum)]
+	pool := g.countryIPs[c]
+	if len(pool) == 0 {
+		return
+	}
+	ip := pool[g.r.Intn(len(pool))]
+	g.push(u, t(), urlx.FormatIPv4(ip), 80, "", "")
+}
+
+// emitAnonymizer visits a web-proxy/VPN service (§7.2, Fig. 10). Host
+// popularity is Zipf-ish: few services get most requests. Proxyish hosts
+// sometimes emit keyword-bearing CGI paths and get censored.
+func (g *Generator) emitAnonymizer(u *user, t func() int64) {
+	// Rank-skewed host pick.
+	idx := g.r.Intn(len(g.w.anonHosts))
+	if g.r.Bool(0.75) {
+		idx = g.r.Intn(1 + len(g.w.anonHosts)/20) // top 5% of services
+	}
+	host := g.w.anonHosts[idx]
+	// A session issues several requests to the service; on the "proxyish"
+	// hosts some URLs carry the blacklisted keyword while plain pages get
+	// through — producing Fig 10(b)'s mixed allow/censor ratios.
+	for i, n := 0, 2+g.r.Intn(4); i < n; i++ {
+		if g.w.anonProxyish[idx] && g.r.Bool(0.3) {
+			g.push(u, t(), host, 80, "/cgi-bin/nph-proxy.cgi", fmt.Sprintf("url=%s", searchWords[g.r.Intn(len(searchWords))]))
+			continue
+		}
+		paths := []string{"/", "/index.html", "/browse.php", "/surf"}
+		g.push(u, t(), host, 80, paths[g.r.Intn(len(paths))], "")
+	}
+	// Known VPN brands: hotspotshield downloads (keyword-censored).
+	if g.r.Bool(0.06) {
+		g.push(u, t(), "www.hotspotshield.com", 80, "/download/hss_install.exe", "")
+	}
+	if g.r.Bool(0.04) {
+		g.push(u, t(), "www.ultrareach.com", 80, "/downloads/u1006.exe", "")
+	}
+	if g.r.Bool(0.04) {
+		g.push(u, t(), "ultrasurf.us", 80, "/download/u.zip", "")
+	}
+	if g.r.Bool(0.05) {
+		g.push(u, t(), "hotsptshld.com", 80, "/engine/connect", "")
+	}
+	// Users hunt for the tools on search engines and wikis; every such
+	// URL carries the tool keyword and is censored on allowed domains.
+	for i, n := 0, 1+g.r.Intn(2); i < n; i++ {
+		word := toolWords[g.r.Intn(len(toolWords))]
+		switch g.r.Intn(3) {
+		case 0:
+			g.push(u, t(), "www.google.com", 80, "/search", "q="+word+"+download")
+		case 1:
+			g.push(u, t(), "www.yahoo.com", 80, "/search", "p="+word)
+		default:
+			g.push(u, t(), "ar.wikipedia.org", 80, "/wiki/"+word, "")
+		}
+	}
+}
+
+// emitTor is a Tor client session: directory fetches (Torhttp, ~73% of Tor
+// requests in the paper) plus OR-port circuit connections (Toronion).
+func (g *Generator) emitTor(u *user, t func() int64) {
+	// Tor clients reuse a small guard set, so the same relays recur —
+	// which is what makes the Fig. 9 Rfilter contrast observable (a relay
+	// censored in one window is allowed in another).
+	pick := func() torsim.Relay {
+		if g.r.Bool(0.7) {
+			k := stats.Hash64(fmt.Sprintf("guard-%d-%d", u.ip, g.r.Intn(3)))
+			return g.w.consensus.Relay(int(k % uint64(g.w.consensus.Len())))
+		}
+		return g.w.consensus.Relay(g.r.Intn(g.w.consensus.Len()))
+	}
+	n := 2 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		if g.r.Bool(0.73) {
+			// Directory fetch: pick a relay that serves the dir protocol.
+			for tries := 0; tries < 16; tries++ {
+				relay := pick()
+				if relay.DirPort != 0 {
+					g.push(u, t(), relay.Host(), relay.DirPort, torsim.DirPath(g.r.Intn(5)), "")
+					break
+				}
+			}
+			continue
+		}
+		relay := pick()
+		g.pushConnect(u, t(), relay.Host(), relay.ORPort)
+	}
+}
+
+// emitBT announces torrents to trackers (§7.3). Tracker hosts are benign
+// except tracker-proxy.furk.net, whose announces are keyword-censored.
+func (g *Generator) emitBT(ui int, t func() int64) {
+	u := &g.w.users[ui]
+	peer, ok := g.w.peerIDs[ui]
+	if !ok {
+		peer = bittorrent.NewPeerID(g.r)
+		g.w.peerIDs[ui] = peer
+	}
+	n := 3 + g.r.Intn(6)
+	for i := 0; i < n; i++ {
+		tracker := g.w.trackers[g.r.Intn(len(g.w.trackers)-1)]
+		if g.r.Bool(0.004) {
+			tracker = "tracker-proxy.furk.net"
+		}
+		ann := bittorrent.Announce{
+			InfoHash: g.w.infoHashes[g.r.Intn(len(g.w.infoHashes))],
+			PeerID:   peer,
+			Port:     uint16(49152 + g.r.Intn(16000)),
+			Left:     uint64(g.r.Intn(1 << 30)),
+			Event:    []string{"", "started", "completed"}[g.r.Intn(3)],
+		}
+		g.push(u, t(), tracker, 80, "/announce", ann.Query())
+	}
+}
+
+// emitGCache reads Google-cache copies (§7.4), including copies of
+// otherwise-censored pages — which mostly get through.
+func (g *Generator) emitGCache(u *user, t func() int64) {
+	targets := []string{
+		"www.panet.co.il", "aawsat.com", "www.facebook.com/Syrian.Revolution",
+		"www.free-syria.com", "site-0001.example.com", "en.wikipedia.org/wiki/Syria",
+	}
+	target := targets[g.r.Intn(len(targets))]
+	n := 1 + g.r.Intn(2)
+	for i := 0; i < n; i++ {
+		// A tiny fraction of cache URLs embed a blacklisted keyword and
+		// get caught (12 censored cache requests in Dfull).
+		if g.r.Bool(0.01) {
+			g.push(u, t(), "webcache.googleusercontent.com", 80, "/search",
+				"q=cache:megaproxy.com/proxy-list")
+			continue
+		}
+		g.push(u, t(), "webcache.googleusercontent.com", 80, "/search", "q=cache:"+target)
+	}
+}
+
+// fbPageVariants are the query shapes seen on targeted pages: the narrow
+// censored set and the ajax variants that slip through (§6).
+var fbPageVariants = []string{"", "ref=ts", "ref=ts&__a=11&ajaxpipe=1&quickling[version]=414343%3B0", "sk=info"}
+
+// emitFBPage visits activist Facebook pages, both custom-category-targeted
+// (Table 14) and untargeted (Syrian.Revolution.Army etc.).
+func (g *Generator) emitFBPage(u *user, t func() int64) {
+	targeted := []string{
+		"/Syrian.Revolution", "/Syrian.Revolution", "/Syrian.Revolution", // popular
+		"/syria.news.F.N.N", "/syria.news.F.N.N",
+		"/ShaamNews", "/fffm14", "/barada.channel", "/DaysOfRage",
+		"/Syrian.R.V", "/YouthFreeSyria", "/sooryoon", "/Freedom.Of.Syria",
+		"/SyrianDayOfRage",
+	}
+	untargeted := []string{
+		"/Syrian.Revolution.Army", "/Syrian.Revolution.Assad",
+		"/Syrian.Revolution.Caricature", "/ShaamNewsNetwork",
+	}
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		if g.r.Bool(0.3) {
+			g.push(u, t(), "www.facebook.com", 80, untargeted[g.r.Intn(len(untargeted))], fbQuery(g, true))
+			continue
+		}
+		path := targeted[g.r.Intn(len(targeted))]
+		host := "www.facebook.com"
+		if g.r.Bool(0.1) && path == "/Syrian.Revolution" {
+			host = "ar-ar.facebook.com"
+		}
+		g.push(u, t(), host, 80, path, fbPageVariants[g.r.Intn(len(fbPageVariants))])
+	}
+	// ShaamNews is mostly *allowed* in Table 14 (3,944 allowed vs 114
+	// censored): its popular variants carry ajax queries.
+	if g.r.Bool(0.6) {
+		g.push(u, t(), "www.facebook.com", 80, "/ShaamNews", fbPageVariants[2])
+	}
+}
+
+func fbQuery(g *Generator, refTS bool) string {
+	if refTS && g.r.Bool(0.5) {
+		return "ref=ts"
+	}
+	if g.r.Bool(0.3) {
+		return fmt.Sprintf("refid=%d&ref=nf_fr", g.r.Intn(20))
+	}
+	return ""
+}
+
+// emitUpload is a video-upload session against the redirect host
+// upload.youtube.com (Table 7's dominant entry).
+func (g *Generator) emitUpload(u *user, t func() int64) {
+	n := 2 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		g.push(u, t(), "upload.youtube.com", 80, "/upload/rupio", fmt.Sprintf("upload_id=%x", g.r.Uint32()))
+	}
+	if g.r.Bool(0.1) {
+		g.push(u, t(), "competition.mbc.net", 80, "/vote", "")
+	}
+	if g.r.Bool(0.1) {
+		g.push(u, t(), "sharek.aljazeera.net", 80, "/upload", "")
+	}
+}
+
+// emitHTTPS issues CONNECT tunnels: webmail/social HTTPS plus the blocked
+// anonymizer endpoints of §4.
+func (g *Generator) emitHTTPS(u *user, t func() int64) {
+	switch g.r.Intn(8) {
+	case 0:
+		g.pushConnect(u, t(), "mail.google.com", 443)
+	case 1:
+		g.pushConnect(u, t(), "www.facebook.com", 443)
+	case 2:
+		g.pushConnect(u, t(), "login.yahoo.com", 443)
+	case 3:
+		g.pushConnect(u, t(), "accounts.google.com", 443)
+	case 4:
+		if g.r.Bool(0.4) {
+			// Israeli destination over TLS: IP-blocked when in a blocked
+			// range (§4: censored HTTPS skews to IP-literal destinations).
+			ip := g.israeliIPs[g.r.Intn(len(g.israeliIPs))]
+			g.pushConnect(u, t(), urlx.FormatIPv4(ip), 443)
+		} else {
+			g.pushConnect(u, t(), "mail.google.com", 443)
+		}
+	case 5:
+		if g.r.Bool(0.3) {
+			// Blocked anonymizer endpoints (NL).
+			g.pushConnect(u, t(), []string{"94.75.200.10", "94.75.200.11"}[g.r.Intn(2)], 443)
+		} else {
+			g.pushConnect(u, t(), "mail.google.com", 443)
+		}
+	case 6:
+		if g.r.Bool(0.1) {
+			// Blocked anonymizer endpoint (GB).
+			g.pushConnect(u, t(), "31.170.160.5", 443)
+		} else {
+			g.pushConnect(u, t(), "accounts.google.com", 443)
+		}
+	default:
+		g.pushConnect(u, t(), "secure.wlxrs.com", 443)
+	}
+}

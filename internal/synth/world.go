@@ -1,0 +1,326 @@
+package synth
+
+import (
+	"fmt"
+
+	"syriafilter/internal/categorydb"
+	"syriafilter/internal/policy"
+	"syriafilter/internal/stats"
+	"syriafilter/internal/torsim"
+)
+
+// behaviour flags mark the sparse censorship-prone habits that concentrate
+// censored traffic in few users (Fig. 4: only 1.57% of users are censored,
+// and they are far more active than the rest).
+type behaviour uint16
+
+const (
+	bhSkype       behaviour = 1 << iota // Skype client: update checks + CONNECT
+	bhMSN                               // MSN messenger + ceipmsn telemetry
+	bhMetacafe                          // keeps requesting the blocked video site
+	bhPluginSites                       // browses pages embedding FB social plugins
+	bhZynga                             // Facebook games (proxy-bearing tracker URLs)
+	bhNews                              // opposition/news sites (mostly blocked)
+	bhIsraeli                           // .il sites and Israeli IP literals
+	bhAnonymizer                        // web proxies / VPN endpoints
+	bhTor                               // Tor client
+	bhBitTorrent                        // announces to trackers
+	bhGCache                            // reads Google cache copies
+	bhFBPages                           // visits targeted Facebook pages
+	bhUploader                          // uploads videos (upload.youtube.com)
+)
+
+// user is one synthetic Syrian Internet user.
+type user struct {
+	ip       uint32
+	agent    string
+	activity float64 // relative request-rate weight (heavy-tailed)
+	flags    behaviour
+}
+
+var userAgents = []string{
+	"Mozilla/5.0 (Windows NT 6.1; rv:5.0) Gecko/20100101 Firefox/5.0",
+	"Mozilla/5.0 (Windows NT 5.1) AppleWebKit/534.30 Chrome/12.0.742.122",
+	"Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 5.1)",
+	"Mozilla/4.0 (compatible; MSIE 7.0; Windows NT 5.1)",
+	"Mozilla/5.0 (Windows NT 6.0) AppleWebKit/535.1 Chrome/13.0.782.112",
+	"Opera/9.80 (Windows NT 5.1; U; en) Presto/2.9.168 Version/11.50",
+	"Skype/5.3.0.120 (Windows)",
+	"Mozilla/5.0 (X11; Linux i686; rv:5.0) Gecko/20100101 Firefox/5.0",
+}
+
+// skypeAgent is assigned to Skype-flagged users part of the time: the
+// paper notes user agents of software retrying censored pages.
+const skypeAgentIdx = 6
+
+// buildUsers draws the population. Activity is lognormal-ish (median ~15,
+// heavy tail) so a small share of users emits >100 requests.
+func buildUsers(r *stats.Rand, n int) []user {
+	users := make([]user, n)
+	for i := range users {
+		u := &users[i]
+		u.ip = 0x1f400000 + uint32(i)*7 + r.Uint32()%5 // 31.64.0.0+ Syrian client space
+		u.agent = userAgents[r.Intn(len(userAgents)-1)]
+		// exp(N(ln 15, 1.05)) request-weight tail.
+		u.activity = expApprox(2.7 + 1.05*r.NormFloat64())
+
+		// Sparse censorship-prone behaviours. Probabilities tuned so
+		// ~1.5–2% of users ever hit a censored URL while total censored
+		// traffic lands near 1% of the corpus. Incidence scales with the
+		// user's activity: heavy users are likelier to run IM clients,
+		// browse widely, and hit collateral keywords — the correlation the
+		// paper observes in Fig. 4(b).
+		actF := u.activity / 15
+		if actF < 0.4 {
+			actF = 0.4
+		}
+		if actF > 3 {
+			actF = 3
+		}
+		if r.Bool(0.0028 * actF) {
+			u.flags |= bhSkype
+			if r.Bool(0.5) {
+				u.agent = userAgents[skypeAgentIdx]
+			}
+		}
+		if r.Bool(0.002 * actF) {
+			u.flags |= bhMSN
+		}
+		if r.Bool(0.002 * actF) {
+			u.flags |= bhMetacafe
+		}
+		if r.Bool(0.0035 * actF) {
+			u.flags |= bhPluginSites
+		}
+		if r.Bool(0.002 * actF) {
+			u.flags |= bhZynga
+		}
+		if r.Bool(0.0015 * actF) {
+			u.flags |= bhNews
+		}
+		if r.Bool(0.003) {
+			u.flags |= bhIsraeli
+		}
+		if r.Bool(0.006) {
+			u.flags |= bhAnonymizer
+		}
+		if r.Bool(0.012) {
+			u.flags |= bhTor
+		}
+		if r.Bool(0.015) {
+			u.flags |= bhBitTorrent
+		}
+		if r.Bool(0.002) {
+			u.flags |= bhGCache
+		}
+		if r.Bool(0.003) {
+			u.flags |= bhFBPages
+		}
+		if r.Bool(0.002) {
+			u.flags |= bhUploader
+		}
+	}
+	// Guarantee every behaviour is represented even in small populations,
+	// so scaled-down corpora still contain all traffic kinds.
+	seedFlags := []behaviour{
+		bhSkype, bhMSN, bhMetacafe, bhPluginSites, bhZynga, bhNews,
+		bhIsraeli, bhAnonymizer, bhTor, bhBitTorrent, bhGCache, bhFBPages,
+		bhUploader,
+	}
+	for i, f := range seedFlags {
+		if i < len(users) {
+			users[i].flags |= f
+		}
+	}
+	return users
+}
+
+func expApprox(x float64) float64 {
+	// Cheap exp for the activity weights; precision is irrelevant here.
+	if x > 12 {
+		x = 12
+	}
+	// exp(x) via repeated squaring of exp(x/16) Taylor series.
+	y := 1 + x/16*(1+x/32*(1+x/48))
+	y *= y
+	y *= y
+	y *= y
+	y *= y
+	return y
+}
+
+// world holds the static universe: domains, catalogs, consensus, rules.
+type world struct {
+	users []user
+
+	// Long-tail browsing domains and their Zipf sampler.
+	tail     []string
+	tailZipf *stats.Zipf
+
+	// Anonymizer hosts; proxyish ones sometimes emit keyword-bearing URLs.
+	anonHosts    []string
+	anonProxyish []bool
+
+	// Generated blocked domains (news/forums/NA/other categories)
+	// extending the paper list.
+	blockedNews   []string
+	blockedForums []string
+	blockedMisc   []string
+	blockedExtra  []string
+
+	// BitTorrent world.
+	trackers   []string
+	infoHashes [][20]byte
+	peerIDs    map[int][20]byte // user index -> stable peer id
+
+	consensus *torsim.Consensus
+	catdb     *categorydb.DB
+	ruleset   *policy.Ruleset
+	engine    *policy.Engine
+}
+
+func buildWorld(cfg *Config, r *stats.Rand) (*world, error) {
+	w := &world{
+		users:   buildUsers(r.Fork(), cfg.Users),
+		catdb:   categorydb.PaperSeed(),
+		peerIDs: make(map[int][20]byte),
+	}
+
+	// Long-tail domains, Zipf-popular (Fig. 2's power-law body). Names are
+	// two-label so each is its own registered domain.
+	w.tail = make([]string, cfg.TailDomains)
+	for i := range w.tail {
+		w.tail[i] = fmt.Sprintf("site-%05d%s", i, tldFor(i))
+	}
+	z, err := stats.NewZipf(len(w.tail), 0.85)
+	if err != nil {
+		return nil, err
+	}
+	w.tailZipf = z
+
+	// Anonymizer population: 821 hosts, ~7.3% "proxyish" (their URLs
+	// sometimes carry the blacklisted keyword and get censored), the rest
+	// never filtered (§7.2, Fig. 10).
+	w.anonHosts = make([]string, cfg.AnonymizerHosts)
+	w.anonProxyish = make([]bool, cfg.AnonymizerHosts)
+	for i := range w.anonHosts {
+		w.anonHosts[i] = fmt.Sprintf("%s-%03d.net", anonNames[i%len(anonNames)], i)
+		w.anonProxyish[i] = i%14 == 1 // ~7.1%
+		w.catdb.Add(w.anonHosts[i], categorydb.CatAnonymizer)
+	}
+
+	// Generated blocked domains on top of the paper-named ones, shaping
+	// Table 8/9: news dominates the domain count.
+	for i := 0; i < cfg.BlockedNewsDomains; i++ {
+		d := fmt.Sprintf("syria-news-%02d.info", i)
+		w.blockedNews = append(w.blockedNews, d)
+		w.catdb.Add(d, categorydb.CatGeneralNews)
+	}
+	forumStems := []string{"shamtalk", "halabvoice", "muntadayat", "hiwarat",
+		"majalisuna", "sahataleil", "deraaboard"}
+	for _, stem := range forumStems {
+		d := stem + ".org"
+		w.blockedForums = append(w.blockedForums, d)
+		w.catdb.Add(d, categorydb.CatForums)
+	}
+	for i := 0; i < 30; i++ {
+		// NA bucket: hosts McAfee cannot categorize (Table 9's 42 NA).
+		// Each name's letter stem is unique so no token spans domains.
+		d := fmt.Sprintf("%s%02d.biz", miscStem(i), i)
+		w.blockedMisc = append(w.blockedMisc, d)
+	}
+
+	// Category variety for Table 9: a few more blocked streaming /
+	// education / internet-service / entertainment sites.
+	extras := []struct {
+		host string
+		cat  categorydb.Category
+	}{
+		{"shaamtube.net", categorydb.CatStreamingMedia},
+		{"aflamhouse.com", categorydb.CatStreamingMedia},
+		{"clipdama.net", categorydb.CatStreamingMedia},
+		{"watchqanat.com", categorydb.CatStreamingMedia},
+		{"tarbiyaonline.org", categorydb.CatEducation},
+		{"maktabaty.net", categorydb.CatEducation},
+		{"voipdamas.com", categorydb.CatInternetSvcs},
+		{"smsgatewaysy.net", categorydb.CatInternetSvcs},
+		{"dialupzone.com", categorydb.CatInternetSvcs},
+		{"sahratona.com", categorydb.CatEntertainment},
+		{"tarabmusic.net", categorydb.CatEntertainment},
+	}
+	for _, e := range extras {
+		w.blockedExtra = append(w.blockedExtra, e.host)
+		w.catdb.Add(e.host, e.cat)
+	}
+
+	// BitTorrent trackers and content. tracker-proxy.furk.net reproduces
+	// §7.3's censored announces (keyword in tracker host).
+	w.trackers = []string{
+		"tracker.openbittorrent.example", "tracker.publicbt.example",
+		"announce.thepiratebay.org", "tracker.mininova.org",
+		"tracker-proxy.furk.net",
+	}
+	nHashes := cfg.TotalRequests / 60
+	if nHashes < 300 {
+		nHashes = 300
+	}
+	w.infoHashes = make([][20]byte, nHashes)
+	hr := r.Fork()
+	for i := range w.infoHashes {
+		for j := 0; j < 20; j++ {
+			w.infoHashes[i][j] = byte(hr.Uint64())
+		}
+	}
+
+	w.consensus = torsim.NewConsensus(cfg.Seed^0xf0f0, cfg.TorRelays)
+
+	// Assemble the effective ruleset: paper base + generated domains +
+	// hotsptshld.com (Table 5 shows it censored during the Aug 3 peak).
+	rs := policy.PaperRuleset()
+	rs.Domains = append(rs.Domains, "hotsptshld.com")
+	rs.Domains = append(rs.Domains, w.blockedNews...)
+	rs.Domains = append(rs.Domains, w.blockedForums...)
+	rs.Domains = append(rs.Domains, w.blockedMisc...)
+	rs.Domains = append(rs.Domains, w.blockedExtra...)
+	w.ruleset = rs
+	w.engine = policy.Compile(rs)
+	return w, nil
+}
+
+func tldFor(i int) string {
+	switch i % 11 {
+	case 0, 3, 7:
+		return ".com"
+	case 1, 9:
+		return ".net"
+	case 2:
+		return ".org"
+	case 4:
+		return ".info"
+	case 5:
+		return ".com.sy"
+	case 6:
+		return ".biz" // keeps TLD-collapse honest: .biz has allowed sites
+	case 8:
+		return ".cc"
+	default:
+		return ".us"
+	}
+}
+
+// miscStem derives a distinct 6-letter stem for uncategorized host i.
+func miscStem(i int) string {
+	b := make([]byte, 6)
+	x := uint32(i)*2654435761 + 12345
+	for j := range b {
+		b[j] = byte('a' + x%26)
+		x = x*1103515245 + 12345
+	}
+	return string(b)
+}
+
+var anonNames = []string{
+	"vtunnel", "hidebrowse", "cloakweb", "surfshield", "freeway",
+	"openpath", "bypassit", "webveil", "tunnelbear", "ghostsurf",
+	"netfreedom", "unblockr",
+}

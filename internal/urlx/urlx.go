@@ -1,0 +1,238 @@
+// Package urlx provides the small URL-handling helpers the log pipeline
+// needs: splitting request URLs into the Blue Coat field quintet (host,
+// port, path, query, extension), host normalization, registered-domain
+// extraction, and IPv4 literal detection.
+//
+// It deliberately does not use net/url: Blue Coat logs store the URL
+// pre-split across cs-host / cs-uri-path / cs-uri-query / cs-uri-extension,
+// and the hot path must not allocate. All functions here operate on string
+// slices of their input.
+package urlx
+
+import "strings"
+
+// Parts is a request URL decomposed the way the SG-9000 logs it.
+type Parts struct {
+	Scheme string // "http", "https", "tcp" (CONNECT tunnels)
+	Host   string // lowercased hostname or IP literal, no port
+	Port   uint16 // 0 when absent; defaulted by scheme in Split
+	Path   string // starts with "/" when present
+	Query  string // without the leading "?"
+	Ext    string // file extension of the last path segment, without dot
+}
+
+// Split decomposes a URL string. It accepts absolute URLs
+// ("http://h:p/x?q"), scheme-less ("h/x?q"), and bare hosts. Unknown ports
+// default to 80 for http and 443 for https.
+func Split(raw string) Parts {
+	var p Parts
+	rest := raw
+
+	if i := strings.Index(rest, "://"); i >= 0 {
+		p.Scheme = strings.ToLower(rest[:i])
+		rest = rest[i+3:]
+	} else {
+		p.Scheme = "http"
+	}
+
+	// Split host[:port] from path?query.
+	hostport := rest
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		hostport = rest[:i]
+		rest = rest[i:]
+	} else {
+		rest = ""
+	}
+
+	p.Host, p.Port = SplitHostPort(hostport)
+	if p.Port == 0 {
+		p.Port = DefaultPort(p.Scheme)
+	}
+
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		p.Path = rest[:i]
+		p.Query = rest[i+1:]
+	} else {
+		p.Path = rest
+	}
+	p.Ext = PathExt(p.Path)
+	return p
+}
+
+// SplitHostPort splits "host:port" returning a lowercased host and the
+// numeric port (0 when absent or malformed).
+func SplitHostPort(hostport string) (string, uint16) {
+	host := hostport
+	var port uint16
+	if i := strings.LastIndexByte(hostport, ':'); i >= 0 {
+		if n, ok := atouPort(hostport[i+1:]); ok {
+			host = hostport[:i]
+			port = n
+		}
+	}
+	return strings.ToLower(host), port
+}
+
+// DefaultPort returns the conventional port for a scheme (0 if unknown).
+func DefaultPort(scheme string) uint16 {
+	switch scheme {
+	case "http", "":
+		return 80
+	case "https", "tcp": // Blue Coat logs CONNECT tunnels as tcp://host:443
+		return 443
+	case "ftp":
+		return 21
+	}
+	return 0
+}
+
+// PathExt returns the extension of the final path segment without the dot,
+// or "" if none ("-" in Blue Coat logs is represented as "" internally).
+func PathExt(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		switch path[i] {
+		case '.':
+			ext := path[i+1:]
+			if len(ext) > 0 && len(ext) <= 8 {
+				return ext
+			}
+			return ""
+		case '/':
+			return ""
+		}
+	}
+	return ""
+}
+
+// secondLevelSuffixes are public suffixes under which a registered domain
+// has three labels, covering the TLDs appearing in the paper's tables
+// (.co.uk, .com.sy, .co.il, .net.sy, ...).
+var secondLevelSuffixes = map[string]struct{}{
+	"co.uk": {}, "org.uk": {}, "ac.uk": {}, "gov.uk": {},
+	"com.sy": {}, "net.sy": {}, "org.sy": {}, "gov.sy": {},
+	"co.il": {}, "org.il": {}, "net.il": {}, "ac.il": {}, "gov.il": {},
+	"com.au": {}, "com.br": {}, "com.cn": {}, "com.eg": {},
+	"com.sa": {}, "com.tr": {}, "com.lb": {}, "com.jo": {},
+	"co.jp": {}, "co.kr": {}, "co.in": {},
+}
+
+// RegisteredDomain reduces a hostname to its registrable domain:
+// "upload.youtube.com" -> "youtube.com", "news.bbc.co.uk" -> "bbc.co.uk".
+// IP literals and single-label hosts are returned unchanged.
+func RegisteredDomain(host string) string {
+	if host == "" || IsIPv4(host) {
+		return host
+	}
+	// Walk the last three labels.
+	last := strings.LastIndexByte(host, '.')
+	if last < 0 {
+		return host
+	}
+	second := strings.LastIndexByte(host[:last], '.')
+	if second < 0 {
+		return host
+	}
+	if _, ok := secondLevelSuffixes[host[second+1:]]; ok {
+		third := strings.LastIndexByte(host[:second], '.')
+		if third < 0 {
+			return host
+		}
+		return host[third+1:]
+	}
+	return host[second+1:]
+}
+
+// TLD returns the final label of host ("il" for "panet.co.il"), or "" for
+// IP literals and label-less hosts.
+func TLD(host string) string {
+	if IsIPv4(host) {
+		return ""
+	}
+	i := strings.LastIndexByte(host, '.')
+	if i < 0 || i == len(host)-1 {
+		return ""
+	}
+	return host[i+1:]
+}
+
+// IsIPv4 reports whether s is a dotted-quad IPv4 literal.
+func IsIPv4(s string) bool {
+	_, ok := ParseIPv4(s)
+	return ok
+}
+
+// ParseIPv4 parses a dotted-quad IPv4 literal into a big-endian uint32.
+func ParseIPv4(s string) (uint32, bool) {
+	var ip uint32
+	part := uint32(0)
+	digits := 0
+	dots := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			part = part*10 + uint32(c-'0')
+			digits++
+			if digits > 3 || part > 255 {
+				return 0, false
+			}
+		case c == '.':
+			if digits == 0 {
+				return 0, false
+			}
+			ip = ip<<8 | part
+			part, digits = 0, 0
+			dots++
+			if dots > 3 {
+				return 0, false
+			}
+		default:
+			return 0, false
+		}
+	}
+	if dots != 3 || digits == 0 {
+		return 0, false
+	}
+	return ip<<8 | part, true
+}
+
+// FormatIPv4 renders a big-endian uint32 as a dotted quad.
+func FormatIPv4(ip uint32) string {
+	var b [15]byte
+	n := put8(b[:0], byte(ip>>24))
+	n = append(n, '.')
+	n = put8(n, byte(ip>>16))
+	n = append(n, '.')
+	n = put8(n, byte(ip>>8))
+	n = append(n, '.')
+	n = put8(n, byte(ip))
+	return string(n)
+}
+
+func put8(dst []byte, v byte) []byte {
+	if v >= 100 {
+		dst = append(dst, '0'+v/100)
+	}
+	if v >= 10 {
+		dst = append(dst, '0'+(v/10)%10)
+	}
+	return append(dst, '0'+v%10)
+}
+
+func atouPort(s string) (uint16, bool) {
+	if len(s) == 0 || len(s) > 5 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n > 65535 {
+		return 0, false
+	}
+	return uint16(n), true
+}
