@@ -114,271 +114,261 @@ func BenchmarkAnalyzerObserve(b *testing.B) {
 	}
 }
 
-// --- Tables ---
+// --- Tables and figures: subset-engine benchmarks ---
+//
+// Each benchmark measures producing one paper artifact end to end on a
+// subset engine: ingest the 200k-record corpus into exactly the metric
+// modules that experiment reads, then compute its results. The
+// *FullEngine variants ingest into all modules, quantifying what the
+// subset selection saves.
 
-func BenchmarkTable1Datasets(b *testing.B) {
+func benchOpts(f *benchFixture) core.Options {
+	return core.Options{
+		Categories: f.gen.CategoryDB(),
+		Consensus:  f.gen.Consensus(),
+		TitleDB:    bittorrent.NewTitleDB(),
+	}
+}
+
+func benchExperiment(b *testing.B, ids []string, full bool, result func(*core.Analyzer)) {
 	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if got := f.analyzer.Table1(); len(got) != 4 {
-			b.Fatal("bad table 1")
+	var mods []string
+	if !full {
+		var err error
+		mods, err = core.ModulesFor(ids...)
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
+	opts := benchOpts(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := core.NewAnalyzerFor(opts, mods...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range f.records {
+			an.Observe(&f.records[j])
+		}
+		result(an)
+	}
+	b.SetBytes(int64(len(f.records)))
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	benchExperiment(b, []string{"table1"}, false, func(a *core.Analyzer) {
+		if got := a.Table1(); len(got) != 4 {
+			b.Fatal("bad table 1")
+		}
+	})
 }
 
 func BenchmarkTable3Traffic(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t3 := f.analyzer.Table3()
+	benchExperiment(b, []string{"table3"}, false, func(a *core.Analyzer) {
+		t3 := a.Table3()
 		if t3[core.DFull].Total == 0 {
 			b.Fatal("empty")
 		}
-	}
+	})
 }
 
 func BenchmarkTable4TopDomains(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a, c := f.analyzer.TopDomains(10)
-		if len(a) == 0 || len(c) == 0 {
+	benchExperiment(b, []string{"table4"}, false, func(a *core.Analyzer) {
+		al, ce := a.TopDomains(10)
+		if len(al) == 0 || len(ce) == 0 {
 			b.Fatal("empty")
 		}
-	}
+	})
 }
 
 func BenchmarkTable5PeakDomains(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if got := f.analyzer.Table5(aug(3, 6), aug(3, 12), 2*3600, 10); len(got) != 3 {
+	benchExperiment(b, []string{"table5"}, false, func(a *core.Analyzer) {
+		if got := a.Table5(aug(3, 6), aug(3, 12), 2*3600, 10); len(got) != 3 {
 			b.Fatal("bad windows")
 		}
-	}
+	})
 }
 
 func BenchmarkTable6Similarity(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if m := f.analyzer.ProxySimilarity(); len(m) != 7 {
+	benchExperiment(b, []string{"table6"}, false, func(a *core.Analyzer) {
+		if m := a.ProxySimilarity(); len(m) != 7 {
 			b.Fatal("bad matrix")
 		}
-	}
+	})
 }
 
 func BenchmarkTable7Redirects(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.RedirectHosts(5)
-	}
+	benchExperiment(b, []string{"table7"}, false, func(a *core.Analyzer) {
+		a.RedirectHosts(5)
+	})
 }
 
 func BenchmarkTable8DomainDiscovery(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d := f.analyzer.DiscoverFilters(0)
-		if len(d.Domains) == 0 {
+	benchExperiment(b, []string{"table8"}, false, func(a *core.Analyzer) {
+		if d := a.DiscoverFilters(0); len(d.Domains) == 0 {
 			b.Fatal("no domains")
 		}
-	}
+	})
 }
 
 func BenchmarkTable9Categories(b *testing.B) {
-	f := fixture(b)
-	d := f.analyzer.DiscoverFilters(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := f.analyzer.Table9(d); len(rows) == 0 {
+	benchExperiment(b, []string{"table9"}, false, func(a *core.Analyzer) {
+		if rows := a.Table9(a.DiscoverFilters(0)); len(rows) == 0 {
 			b.Fatal("no rows")
 		}
-	}
+	})
 }
 
 func BenchmarkTable10Keywords(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d := f.analyzer.DiscoverFilters(0)
-		if len(d.Keywords) == 0 {
+	benchExperiment(b, []string{"table10"}, false, func(a *core.Analyzer) {
+		if d := a.DiscoverFilters(0); len(d.Keywords) == 0 {
 			b.Fatal("no keywords")
 		}
-	}
+	})
 }
 
 func BenchmarkTable11Countries(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := f.analyzer.CountryRatios(); len(rows) == 0 {
+	benchExperiment(b, []string{"table11"}, false, func(a *core.Analyzer) {
+		if rows := a.CountryRatios(); len(rows) == 0 {
 			b.Fatal("no rows")
 		}
-	}
+	})
 }
 
 func BenchmarkTable12Subnets(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.IsraeliSubnets()
-	}
+	benchExperiment(b, []string{"table12"}, false, func(a *core.Analyzer) {
+		a.IsraeliSubnets()
+	})
+}
+
+// BenchmarkTable12SubnetsFullEngine is the acceptance baseline: the same
+// artifact computed on a full engine. The subset variant above must be at
+// least 2x faster.
+func BenchmarkTable12SubnetsFullEngine(b *testing.B) {
+	benchExperiment(b, nil, true, func(a *core.Analyzer) {
+		a.IsraeliSubnets()
+	})
 }
 
 func BenchmarkTable13OSN(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := f.analyzer.SocialNetworks(); len(rows) == 0 {
+	benchExperiment(b, []string{"table13"}, false, func(a *core.Analyzer) {
+		if rows := a.SocialNetworks(); len(rows) == 0 {
 			b.Fatal("no rows")
 		}
-	}
+	})
 }
 
 func BenchmarkTable14FBPages(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.FacebookPages()
-	}
+	benchExperiment(b, []string{"table14"}, false, func(a *core.Analyzer) {
+		a.FacebookPages()
+	})
 }
 
 func BenchmarkTable15Plugins(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.SocialPlugins(10)
-	}
+	benchExperiment(b, []string{"table15"}, false, func(a *core.Analyzer) {
+		a.SocialPlugins(10)
+	})
 }
 
-// --- Figures ---
-
 func BenchmarkFig1Ports(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a, c := f.analyzer.PortDistribution()
-		if len(a) == 0 || len(c) == 0 {
+	benchExperiment(b, []string{"fig1"}, false, func(a *core.Analyzer) {
+		al, ce := a.PortDistribution()
+		if len(al) == 0 || len(ce) == 0 {
 			b.Fatal("empty")
 		}
-	}
+	})
 }
 
 func BenchmarkFig2PowerLaw(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if s := f.analyzer.DomainFreqDistribution(); len(s) != 3 {
+	benchExperiment(b, []string{"fig2"}, false, func(a *core.Analyzer) {
+		if s := a.DomainFreqDistribution(); len(s) != 3 {
 			b.Fatal("bad series")
 		}
-	}
+	})
 }
 
 func BenchmarkFig3Categories(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := f.analyzer.CensoredCategories(false); len(rows) == 0 {
+	benchExperiment(b, []string{"fig3"}, false, func(a *core.Analyzer) {
+		if rows := a.CensoredCategories(false); len(rows) == 0 {
 			b.Fatal("no rows")
 		}
-	}
+	})
 }
 
 func BenchmarkFig4Users(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rep := f.analyzer.UserAnalysis(); rep.TotalUsers == 0 {
+	benchExperiment(b, []string{"fig4"}, false, func(a *core.Analyzer) {
+		if rep := a.UserAnalysis(); rep.TotalUsers == 0 {
 			b.Fatal("no users")
 		}
-	}
+	})
 }
 
 func BenchmarkFig5TimeSeries(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if s := f.analyzer.TimeSeries(aug(1, 0), aug(7, 0)); len(s) == 0 {
+	benchExperiment(b, []string{"fig5"}, false, func(a *core.Analyzer) {
+		if s := a.TimeSeries(aug(1, 0), aug(7, 0)); len(s) == 0 {
 			b.Fatal("empty")
 		}
-	}
+	})
 }
 
 func BenchmarkFig6RCV(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if pts := f.analyzer.RCV(aug(3, 0), aug(4, 0)); len(pts) != 288 {
+	benchExperiment(b, []string{"fig6"}, false, func(a *core.Analyzer) {
+		if pts := a.RCV(aug(3, 0), aug(4, 0)); len(pts) != 288 {
 			b.Fatal("bad points")
 		}
-	}
+	})
 }
 
 func BenchmarkFig7ProxyLoad(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.ProxyLoads()
-		f.analyzer.ProxyShareSeries(aug(3, 0), aug(5, 0), true)
-	}
+	benchExperiment(b, []string{"fig7"}, false, func(a *core.Analyzer) {
+		a.ProxyLoads()
+		a.ProxyShareSeries(aug(3, 0), aug(5, 0), true)
+	})
 }
 
 func BenchmarkFig8Tor(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.TorAnalysis()
-		f.analyzer.TorHourly(aug(1, 0), aug(7, 0))
-	}
+	benchExperiment(b, []string{"fig8"}, false, func(a *core.Analyzer) {
+		a.TorAnalysis()
+		a.TorHourly(aug(1, 0), aug(7, 0))
+	})
 }
 
 func BenchmarkFig9RFilter(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.RFilter(aug(1, 0), aug(7, 0))
-	}
+	benchExperiment(b, []string{"fig9"}, false, func(a *core.Analyzer) {
+		a.RFilter(aug(1, 0), aug(7, 0))
+	})
 }
 
 func BenchmarkFig10Anonymizers(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rep := f.analyzer.Anonymizers(); rep.Hosts == 0 {
+	benchExperiment(b, []string{"fig10"}, false, func(a *core.Analyzer) {
+		if rep := a.Anonymizers(); rep.Hosts == 0 {
 			b.Fatal("no hosts")
 		}
-	}
+	})
 }
 
 func BenchmarkHTTPS(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rep := f.analyzer.HTTPSAnalysis(); rep.Total == 0 {
+	benchExperiment(b, []string{"https"}, false, func(a *core.Analyzer) {
+		if rep := a.HTTPSAnalysis(); rep.Total == 0 {
 			b.Fatal("no https")
 		}
-	}
+	})
 }
 
 func BenchmarkBitTorrent(b *testing.B) {
-	f := fixture(b)
 	kws := []string{"proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf"}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rep := f.analyzer.BitTorrent(kws); rep.Announces == 0 {
+	benchExperiment(b, []string{"bt"}, false, func(a *core.Analyzer) {
+		if rep := a.BitTorrent(kws); rep.Announces == 0 {
 			b.Fatal("no announces")
 		}
-	}
+	})
 }
 
 func BenchmarkGoogleCache(b *testing.B) {
-	f := fixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.analyzer.GoogleCache()
-	}
+	benchExperiment(b, []string{"gcache"}, false, func(a *core.Analyzer) {
+		a.GoogleCache()
+	})
 }
 
 // --- Ablations (DESIGN.md §5) ---

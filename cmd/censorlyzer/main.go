@@ -42,20 +42,45 @@ func main() {
 	)
 	flag.Parse()
 
-	gen, err := synth.New(synth.Config{Seed: *seed, TotalRequests: *requests})
-	if err != nil {
-		fatal(err)
-	}
-	an, err := analyze(gen, *input, *seed, *workers)
-	if err != nil {
-		fatal(err)
-	}
-
 	selected := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		selected[strings.TrimSpace(e)] = true
 	}
 	all := selected["all"]
+
+	// Subset selection: instantiate only the metric modules the requested
+	// experiments read, so producing one table does not pay for all of
+	// them. "all" (or an unknown id, reported below) runs the full engine.
+	var metrics []string
+	if !all {
+		var ids []string
+		for _, exp := range experiments {
+			if selected[exp.id] {
+				ids = append(ids, exp.id)
+			}
+		}
+		if len(ids) > 0 {
+			mods, err := core.ModulesFor(ids...)
+			if err != nil {
+				// An id known to this binary but not to core's experiment
+				// table: run the full engine so output stays correct, but
+				// say that the subset optimization was lost.
+				fmt.Fprintf(os.Stderr, "censorlyzer: subset selection disabled (%v); running the full engine\n", err)
+			} else {
+				metrics = mods
+			}
+		}
+	}
+
+	gen, err := synth.New(synth.Config{Seed: *seed, TotalRequests: *requests})
+	if err != nil {
+		fatal(err)
+	}
+	an, err := analyze(gen, *input, *seed, *workers, metrics)
+	if err != nil {
+		fatal(err)
+	}
+
 	ran := 0
 	for _, exp := range experiments {
 		if all || selected[exp.id] {
@@ -79,13 +104,20 @@ func fatal(err error) {
 }
 
 // analyze builds the Analyzer from files or by synthesizing the corpus.
-func analyze(gen *synth.Generator, input string, seed uint64, workers int) (*core.Analyzer, error) {
+// metrics restricts the engine to a module subset (nil = all); input
+// files are decoded with one scanner goroutine per file feeding the
+// worker pool.
+func analyze(gen *synth.Generator, input string, seed uint64, workers int, metrics []string) (*core.Analyzer, error) {
 	newAcc := func() *core.Analyzer {
-		return core.NewAnalyzer(core.Options{
+		a, err := core.NewAnalyzerFor(core.Options{
 			Categories: gen.CategoryDB(),
 			Consensus:  gen.Consensus(),
 			TitleDB:    bittorrent.NewTitleDB(),
-		})
+		}, metrics...)
+		if err != nil {
+			fatal(err)
+		}
+		return a
 	}
 	if input == "" {
 		cluster := proxysim.NewCluster(proxysim.Config{
@@ -103,22 +135,11 @@ func analyze(gen *synth.Generator, input string, seed uint64, workers int) (*cor
 		}
 		return an, nil
 	}
-	var scanners []pipeline.Scanner
-	var files []*os.File
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
+	var paths []string
 	for _, path := range strings.Split(input, ",") {
-		f, err := os.Open(strings.TrimSpace(path))
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-		scanners = append(scanners, logfmt.NewReader(f))
+		paths = append(paths, strings.TrimSpace(path))
 	}
-	return pipeline.Run(pipeline.NewMultiScanner(scanners...), workers,
+	return pipeline.RunFiles(paths, workers,
 		newAcc,
 		func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) },
 		func(dst, src *core.Analyzer) { dst.Merge(src) },

@@ -1,0 +1,3 @@
+module syriafilter
+
+go 1.22

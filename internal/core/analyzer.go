@@ -1,9 +1,13 @@
 // Package core implements the paper's analyses: the §3.3 request
 // classification and dataset construction, and one result function per
 // table and figure of the evaluation (see DESIGN.md for the experiment
-// index). The heart of the package is Analyzer, a single-pass, mergeable
-// accumulator: feed it every log record once (directly or through
-// internal/pipeline), then ask it for any result.
+// index). The heart of the package is the Engine, a single-pass,
+// mergeable composition of independent metric modules (one per analysis
+// family); the Analyzer facade is a full engine — feed it every log
+// record once (directly or through internal/pipeline), then ask it for
+// any result. Subset engines, built via NewEngine or NewAnalyzerFor with
+// the module names from ModulesFor, pay only for the tables and figures
+// they will be asked for.
 //
 // The inference analyses — censored-string discovery (§5.4), proxy
 // specialization (§5.2), Tor blocking consistency (§7.1) — recover the
@@ -19,14 +23,12 @@ import (
 	"syriafilter/internal/categorydb"
 	"syriafilter/internal/geoip"
 	"syriafilter/internal/logfmt"
-	"syriafilter/internal/stats"
 	"syriafilter/internal/torsim"
-	"syriafilter/internal/urlx"
 )
 
-// Options configures an Analyzer. Categories and GeoDB are required for
-// the category/country analyses; Consensus and TitleDB unlock the Tor and
-// BitTorrent analyses.
+// Options configures an Engine or Analyzer. Categories and GeoDB are
+// required for the category/country analyses; Consensus and TitleDB
+// unlock the Tor and BitTorrent analyses.
 type Options struct {
 	Categories *categorydb.DB
 	GeoDB      *geoip.DB
@@ -149,160 +151,10 @@ type pageStat struct {
 	CustomCategory             bool // ever seen with the "Blocked sites" label
 }
 
-// Analyzer accumulates everything the result functions need in one pass.
-// It is not safe for concurrent use; run one per pipeline worker and
-// Merge.
-type Analyzer struct {
-	opt Options
-
-	datasets [numDatasets]ClassCounts
-
-	// Domains (registered) per class.
-	domAllowed  *stats.Counter
-	domCensored *stats.Counter
-	domDenied   *stats.Counter // errors
-	domProxied  *stats.Counter
-	tldCensored *stats.Counter
-	tldAllowed  *stats.Counter
-
-	// Ports.
-	portAllowed  map[uint16]uint64
-	portCensored map[uint16]uint64
-
-	// Time series (5-minute slots since epoch).
-	slotAllowed  map[int64]uint64
-	slotCensored map[int64]uint64
-
-	// Per-proxy (index = SG-42..48 mapped to 0..6).
-	proxyTotal        [logfmt.NumProxies]uint64
-	proxyCensored     [logfmt.NumProxies]uint64
-	proxySlotTotal    [logfmt.NumProxies]map[int64]uint64
-	proxySlotCensored [logfmt.NumProxies]map[int64]uint64
-	proxyCensDomains  [logfmt.NumProxies]map[string]uint64
-	proxyLabels       [logfmt.NumProxies]map[string]uint64 // default category label sightings
-
-	// Users (Duser window only).
-	users map[string]*userStat
-
-	// Censored categories (Fig 3 on Dsample; Table 9 uses discovery).
-	catCensoredSample *stats.Counter
-	catCensoredFull   *stats.Counter
-
-	// Redirects (Table 7): full host -> count.
-	redirectHosts *stats.Counter
-
-	// Censored domains per hour (Table 5's peak-window breakdown).
-	censHourDomains map[int64]map[string]uint64
-
-	// policy_denied-only domain counts (discovery input; redirects are
-	// handled by the custom-category analysis instead), plus host-level
-	// counts: URL blacklists can target single hosts (messenger.live.com)
-	// whose registered domain stays partly allowed.
-	domCensoredDeny  *stats.Counter
-	hostCensoredDeny *stats.Counter
-	hostAllowed      *stats.Counter
-
-	// Keyword discovery: allowed-URL token counts + stored censored URLs.
-	tokAllowed   *stats.Counter
-	tokProxied   *stats.Counter
-	censoredURLs []censoredURL
-
-	// IP-literal hosts (Table 11/12).
-	countryCensored *stats.Counter
-	countryAllowed  *stats.Counter
-	subnets         map[string]*subnetStat
-
-	// Social networks (Table 13) and Facebook internals (Tables 14/15).
-	osn     map[string]*triple
-	fbPages map[string]*pageStat
-	fbPaths map[string]*triple // facebook.com path stats (plugins)
-	fbCens  uint64             // censored requests on facebook.com domain
-
-	// Tor (§7.1, Figs 8-9).
-	torTotal, torHTTP, torOnion uint64
-	torCensored, torErrors      uint64
-	torCensoredByProxy          [logfmt.NumProxies]uint64
-	torHourly                   map[int64]uint64
-	torCensHourly               map[int64]uint64
-	torSG44SlotCens             map[int64]uint64
-	torCensoredIPs              map[uint32]struct{}
-	torAllowedIPsByHour         map[int64]map[uint32]struct{}
-
-	// Anonymizers (Fig 10).
-	anonAllowed  *stats.Counter
-	anonCensored *stats.Counter
-
-	// HTTPS (§4).
-	httpsTotal, httpsCensored, httpsCensoredIPHost uint64
-
-	// BitTorrent (§7.3).
-	btTotal, btCensored uint64
-	btPeers             map[[20]byte]struct{}
-	btHashes            map[[20]byte]struct{}
-	btTrackers          *stats.Counter
-
-	// Google cache (§7.4).
-	gcTotal, gcCensored uint64
-}
-
 type censoredURL struct {
 	Domain string
 	URL    string
 	Host   string
-}
-
-// NewAnalyzer builds an empty analyzer.
-func NewAnalyzer(opt Options) *Analyzer {
-	opt.defaults()
-	a := &Analyzer{
-		opt:                 opt,
-		domAllowed:          stats.NewCounter(),
-		domCensored:         stats.NewCounter(),
-		domDenied:           stats.NewCounter(),
-		domProxied:          stats.NewCounter(),
-		tldCensored:         stats.NewCounter(),
-		tldAllowed:          stats.NewCounter(),
-		portAllowed:         map[uint16]uint64{},
-		portCensored:        map[uint16]uint64{},
-		slotAllowed:         map[int64]uint64{},
-		slotCensored:        map[int64]uint64{},
-		users:               map[string]*userStat{},
-		catCensoredSample:   stats.NewCounter(),
-		catCensoredFull:     stats.NewCounter(),
-		redirectHosts:       stats.NewCounter(),
-		censHourDomains:     map[int64]map[string]uint64{},
-		domCensoredDeny:     stats.NewCounter(),
-		hostCensoredDeny:    stats.NewCounter(),
-		hostAllowed:         stats.NewCounter(),
-		tokAllowed:          stats.NewCounter(),
-		tokProxied:          stats.NewCounter(),
-		countryCensored:     stats.NewCounter(),
-		countryAllowed:      stats.NewCounter(),
-		subnets:             map[string]*subnetStat{},
-		osn:                 map[string]*triple{},
-		fbPages:             map[string]*pageStat{},
-		fbPaths:             map[string]*triple{},
-		torHourly:           map[int64]uint64{},
-		torCensHourly:       map[int64]uint64{},
-		torSG44SlotCens:     map[int64]uint64{},
-		torCensoredIPs:      map[uint32]struct{}{},
-		torAllowedIPsByHour: map[int64]map[uint32]struct{}{},
-		anonAllowed:         stats.NewCounter(),
-		anonCensored:        stats.NewCounter(),
-		btPeers:             map[[20]byte]struct{}{},
-		btHashes:            map[[20]byte]struct{}{},
-		btTrackers:          stats.NewCounter(),
-	}
-	for i := 0; i < logfmt.NumProxies; i++ {
-		a.proxySlotTotal[i] = map[int64]uint64{}
-		a.proxySlotCensored[i] = map[int64]uint64{}
-		a.proxyCensDomains[i] = map[string]uint64{}
-		a.proxyLabels[i] = map[string]uint64{}
-	}
-	for _, osn := range OSNWatchlist {
-		a.osn[osn] = &triple{}
-	}
-	return a
 }
 
 // SlotSeconds matches the paper's 5-minute series granularity.
@@ -319,189 +171,43 @@ var OSNWatchlist = []string{
 	"livejournal.com", "netlog.com", "salamworld.com", "muslimup.com",
 }
 
-// Observe folds one record into the analyzer.
-func (a *Analyzer) Observe(rec *logfmt.Record) {
-	class := rec.Class()
-	censored := class == logfmt.ClassCensored
-	allowed := class == logfmt.ClassAllowed
-	isProxied := rec.IsProxied()
-	domain := urlx.RegisteredDomain(rec.Host)
-	slot := rec.Time / SlotSeconds
-
-	// --- Datasets (Tables 1 and 3) ---
-	a.observeDataset(DFull, rec, isProxied)
-	if a.inSample(rec) {
-		a.observeDataset(DSample, rec, isProxied)
-	}
-	userKey := rec.UserKey()
-	if userKey != "" {
-		a.observeDataset(DUser, rec, isProxied)
-	}
-	if rec.IsDeniedAny() {
-		a.observeDataset(DDenied, rec, isProxied)
-	}
-
-	// --- Domains, TLDs, ports, time series ---
-	switch {
-	case isProxied:
-		a.domProxied.Add(domain)
-	case censored:
-		a.domCensored.Add(domain)
-		a.tldCensored.Add(urlx.TLD(rec.Host))
-		a.portCensored[rec.Port]++
-		a.slotCensored[slot]++
-		hour := rec.Time / 3600
-		hd := a.censHourDomains[hour]
-		if hd == nil {
-			hd = map[string]uint64{}
-			a.censHourDomains[hour] = hd
-		}
-		hd[domain]++
-		if rec.Exception == logfmt.ExPolicyDenied {
-			a.domCensoredDeny.Add(domain)
-			a.hostCensoredDeny.Add(rec.Host)
-		}
-	case allowed:
-		a.domAllowed.Add(domain)
-		a.hostAllowed.Add(rec.Host)
-		a.tldAllowed.Add(urlx.TLD(rec.Host))
-		a.portAllowed[rec.Port]++
-		a.slotAllowed[slot]++
-	default:
-		a.domDenied.Add(domain)
-	}
-
-	// --- Per proxy ---
-	if sg := rec.Proxy(); sg >= logfmt.FirstProxy && sg <= logfmt.LastProxy {
-		pi := sg - logfmt.FirstProxy
-		a.proxyTotal[pi]++
-		a.proxySlotTotal[pi][slot]++
-		if censored {
-			a.proxyCensored[pi]++
-			a.proxySlotCensored[pi][slot]++
-			a.proxyCensDomains[pi][domain]++
-		}
-		if rec.Categories != "" && !strings.Contains(rec.Categories, "Blocked") {
-			a.proxyLabels[pi][rec.Categories]++
-		}
-	}
-
-	// --- Users (Fig 4) ---
-	if userKey != "" {
-		us := a.users[userKey]
-		if us == nil {
-			us = &userStat{}
-			a.users[userKey] = us
-		}
-		us.Total++
-		if censored {
-			us.Censored++
-		}
-	}
-
-	// --- Categories of censored traffic (Fig 3) ---
-	if censored {
-		cat := string(a.opt.Categories.Classify(rec.Host))
-		if urlx.IsIPv4(rec.Host) {
-			cat = "Content Server" // CDNs/raw hosts; the paper's top bucket
-		}
-		a.catCensoredFull.Add(cat)
-		if a.inSample(rec) {
-			a.catCensoredSample.Add(cat)
-		}
-	}
-
-	// --- Redirects (Table 7) ---
-	if rec.Exception == logfmt.ExPolicyRedirect {
-		a.redirectHosts.Add(rec.Host)
-	}
-
-	// --- Discovery inputs (§5.4) ---
-	if allowed && !isProxied {
-		a.tokenize(rec, func(tok string) {
-			if a.tokAllowed.Len() < a.opt.MaxTokenEntries || a.tokAllowed.Count(tok) > 0 {
-				a.tokAllowed.Add(tok)
-			}
-		})
-	}
-	if isProxied {
-		a.tokenize(rec, func(tok string) { a.tokProxied.Add(tok) })
-	}
-	if rec.Exception == logfmt.ExPolicyDenied && len(a.censoredURLs) < a.opt.MaxStoredCensoredURLs {
-		a.censoredURLs = append(a.censoredURLs, censoredURL{
-			Domain: domain, URL: rec.URL(), Host: rec.Host,
-		})
-	}
-
-	// --- IP-literal hosts (Tables 11/12) ---
-	if ip, isIP := urlx.ParseIPv4(rec.Host); isIP {
-		country := a.opt.GeoDB.Country(ip)
-		if country != "" {
-			if censored {
-				a.countryCensored.Add(country)
-			} else if allowed {
-				a.countryAllowed.Add(country)
-			}
-		}
-		a.observeSubnet(ip, censored, allowed, isProxied)
-	}
-
-	// --- Social networks (Table 13) ---
-	if ts, ok := a.osn[domain]; ok {
-		a.bumpTriple(ts, censored, allowed, isProxied)
-	}
-	if domain == "facebook.com" {
-		a.observeFacebook(rec, censored, allowed, isProxied)
-	}
-
-	// --- Tor (§7.1) ---
-	if a.opt.Consensus != nil {
-		a.observeTor(rec, censored, class)
-	}
-
-	// --- Anonymizers (Fig 10) ---
-	if a.opt.Categories.IsAnonymizer(rec.Host) {
-		if censored {
-			a.anonCensored.Add(rec.Host)
-		} else if allowed {
-			a.anonAllowed.Add(rec.Host)
-		}
-	}
-
-	// --- HTTPS (§4) ---
-	if rec.Method == "CONNECT" || rec.Scheme == "https" || rec.Scheme == "tcp" {
-		a.httpsTotal++
-		if censored {
-			a.httpsCensored++
-			if urlx.IsIPv4(rec.Host) {
-				a.httpsCensoredIPHost++
-			}
-		}
-	}
-
-	// --- BitTorrent (§7.3) ---
-	if bittorrent.IsAnnouncePath(rec.Path) {
-		if ann, err := bittorrent.ParseAnnounce(rec.Path, rec.Query); err == nil {
-			a.btTotal++
-			a.btPeers[ann.PeerID] = struct{}{}
-			a.btHashes[ann.InfoHash] = struct{}{}
-			a.btTrackers.Add(rec.Host)
-			if censored {
-				a.btCensored++
-			}
-		}
-	}
-
-	// --- Google cache (§7.4) ---
-	if rec.Host == "webcache.googleusercontent.com" {
-		a.gcTotal++
-		if censored {
-			a.gcCensored++
-		}
-	}
+// Analyzer is the backward-compatible facade over a full Engine: every
+// metric module registered, every result method available. It remains
+// the right type for callers that want the whole evaluation; use
+// NewAnalyzerFor (or NewEngine) to pay for a subset only.
+//
+// Like the Engine, an Analyzer is not safe for concurrent use; run one
+// per pipeline worker and Merge.
+type Analyzer struct {
+	*Engine
 }
 
-func (a *Analyzer) bumpTriple(ts *triple, censored, allowed, isProxied bool) {
+// NewAnalyzer builds an empty analyzer running every metric module.
+func NewAnalyzer(opt Options) *Analyzer {
+	a, err := NewAnalyzerFor(opt)
+	if err != nil {
+		panic(err) // unreachable: no subset names to reject
+	}
+	return a
+}
+
+// NewAnalyzerFor builds an analyzer restricted to the named metric
+// modules (none = all). Result methods whose module is absent panic;
+// derive the names from ModulesFor so the subset matches the experiments
+// you will run.
+func NewAnalyzerFor(opt Options, metrics ...string) (*Analyzer, error) {
+	e, err := NewEngine(opt, metrics...)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{Engine: e}, nil
+}
+
+// Merge folds b into a. Both must have been built with equivalent
+// Options and the same module subset.
+func (a *Analyzer) Merge(b *Analyzer) { a.Engine.Merge(b.Engine) }
+
+func bumpTriple(ts *triple, censored, allowed, isProxied bool) {
 	switch {
 	case isProxied:
 		ts.Proxied++
@@ -509,83 +215,6 @@ func (a *Analyzer) bumpTriple(ts *triple, censored, allowed, isProxied bool) {
 		ts.Censored++
 	case allowed:
 		ts.Allowed++
-	}
-}
-
-func (a *Analyzer) observeDataset(id DatasetID, rec *logfmt.Record, isProxied bool) {
-	c := &a.datasets[id]
-	c.Total++
-	c.ByException[rec.Exception]++
-	if isProxied {
-		c.Proxied++
-	}
-}
-
-// inSample implements the deterministic 1-in-N Dsample membership.
-func (a *Analyzer) inSample(rec *logfmt.Record) bool {
-	h := stats.Hash64(rec.Host) ^ uint64(rec.Time)*0x9e3779b97f4a7c15 ^ uint64(len(rec.Path))
-	return h%a.opt.SampleOneIn == 0
-}
-
-func (a *Analyzer) observeSubnet(ip uint32, censored, allowed, isProxied bool) {
-	r, ok := a.opt.GeoDB.Lookup(ip)
-	if !ok || r.Country != "IL" {
-		return
-	}
-	st := a.subnets[r.Subnet]
-	if st == nil {
-		st = newSubnetStat()
-		a.subnets[r.Subnet] = st
-	}
-	switch {
-	case isProxied:
-		st.Proxied++
-		st.ProxIPs[ip] = struct{}{}
-	case censored:
-		st.Censored++
-		st.CensoredIPs[ip] = struct{}{}
-	case allowed:
-		st.Allowed++
-		st.AllowedIPs[ip] = struct{}{}
-	}
-}
-
-func (a *Analyzer) observeFacebook(rec *logfmt.Record, censored, allowed, isProxied bool) {
-	if censored {
-		a.fbCens++
-	}
-	path := rec.Path
-	if path == "" || path == "/" {
-		return
-	}
-	// Multi-segment paths and code-ish extensions are platform elements
-	// (plugins etc.); other single-segment paths are pages. Page names may
-	// contain dots (syria.news.F.N.N), so the extension alone is not a
-	// reliable discriminator.
-	if strings.Contains(path[1:], "/") || isCodeExt(rec.Ext) {
-		ts := a.fbPaths[path]
-		if ts == nil {
-			ts = &triple{}
-			a.fbPaths[path] = ts
-		}
-		a.bumpTriple(ts, censored, allowed, isProxied)
-		return
-	}
-	ps := a.fbPages[path]
-	if ps == nil {
-		ps = &pageStat{}
-		a.fbPages[path] = ps
-	}
-	switch {
-	case isProxied:
-		ps.Proxied++
-	case censored:
-		ps.Censored++
-	case allowed:
-		ps.Allowed++
-	}
-	if strings.Contains(rec.Categories, "Blocked sites") {
-		ps.CustomCategory = true
 	}
 }
 
@@ -598,48 +227,10 @@ func isCodeExt(ext string) bool {
 	return false
 }
 
-func (a *Analyzer) observeTor(rec *logfmt.Record, censored bool, class logfmt.Class) {
-	tc := a.opt.Consensus.ClassifyRequest(rec.Host, rec.Port, rec.Path)
-	if tc == torsim.NotTor {
-		return
-	}
-	a.torTotal++
-	hour := rec.Time / 3600
-	a.torHourly[hour]++
-	switch tc {
-	case torsim.TorHTTP:
-		a.torHTTP++
-	case torsim.TorOnion:
-		a.torOnion++
-	}
-	ip, _ := urlx.ParseIPv4(rec.Host)
-	switch {
-	case censored:
-		a.torCensored++
-		a.torCensHourly[hour]++
-		a.torCensoredIPs[ip] = struct{}{}
-		if sg := rec.Proxy(); sg >= logfmt.FirstProxy && sg <= logfmt.LastProxy {
-			a.torCensoredByProxy[sg-logfmt.FirstProxy]++
-			if sg == 44 {
-				a.torSG44SlotCens[rec.Time/SlotSeconds]++
-			}
-		}
-	case class == logfmt.ClassError:
-		a.torErrors++
-	default:
-		set := a.torAllowedIPsByHour[hour]
-		if set == nil {
-			set = map[uint32]struct{}{}
-			a.torAllowedIPsByHour[hour] = set
-		}
-		set[ip] = struct{}{}
-	}
-}
-
-// tokenize yields the URL's candidate keyword tokens: maximal runs of
-// ASCII letters (length 4–24) from host+path+query, lowercased. Digits
+// tokenizeRecord yields the URL's candidate keyword tokens: maximal runs
+// of ASCII letters (length 4–24) from host+path+query, lowercased. Digits
 // break tokens, which keeps session ids and hashes out of the vocabulary.
-func (a *Analyzer) tokenize(rec *logfmt.Record, yield func(string)) {
+func tokenizeRecord(rec *logfmt.Record, yield func(string)) {
 	emit := func(s string) {
 		start := -1
 		for i := 0; i <= len(s); i++ {
@@ -671,153 +262,8 @@ func (a *Analyzer) tokenize(rec *logfmt.Record, yield func(string)) {
 func TokenizeURL(host, path, query string) []string {
 	rec := logfmt.Record{Host: host, Path: path, Query: query}
 	var out []string
-	(&Analyzer{}).tokenize(&rec, func(tok string) { out = append(out, tok) })
+	tokenizeRecord(&rec, func(tok string) { out = append(out, tok) })
 	return out
-}
-
-// Merge folds b into a. Both must have been built with equivalent Options.
-func (a *Analyzer) Merge(b *Analyzer) {
-	for i := range a.datasets {
-		a.datasets[i].merge(&b.datasets[i])
-	}
-	a.domAllowed.Merge(b.domAllowed)
-	a.domCensored.Merge(b.domCensored)
-	a.domDenied.Merge(b.domDenied)
-	a.domProxied.Merge(b.domProxied)
-	a.tldCensored.Merge(b.tldCensored)
-	a.tldAllowed.Merge(b.tldAllowed)
-	mergeU16(a.portAllowed, b.portAllowed)
-	mergeU16(a.portCensored, b.portCensored)
-	mergeI64(a.slotAllowed, b.slotAllowed)
-	mergeI64(a.slotCensored, b.slotCensored)
-	for i := 0; i < logfmt.NumProxies; i++ {
-		a.proxyTotal[i] += b.proxyTotal[i]
-		a.proxyCensored[i] += b.proxyCensored[i]
-		mergeI64(a.proxySlotTotal[i], b.proxySlotTotal[i])
-		mergeI64(a.proxySlotCensored[i], b.proxySlotCensored[i])
-		mergeStr(a.proxyCensDomains[i], b.proxyCensDomains[i])
-		mergeStr(a.proxyLabels[i], b.proxyLabels[i])
-		a.torCensoredByProxy[i] += b.torCensoredByProxy[i]
-	}
-	for k, v := range b.users {
-		if mine, ok := a.users[k]; ok {
-			mine.Total += v.Total
-			mine.Censored += v.Censored
-		} else {
-			cp := *v
-			a.users[k] = &cp
-		}
-	}
-	a.catCensoredSample.Merge(b.catCensoredSample)
-	a.catCensoredFull.Merge(b.catCensoredFull)
-	a.redirectHosts.Merge(b.redirectHosts)
-	for hour, hd := range b.censHourDomains {
-		mine := a.censHourDomains[hour]
-		if mine == nil {
-			mine = map[string]uint64{}
-			a.censHourDomains[hour] = mine
-		}
-		mergeStr(mine, hd)
-	}
-	a.domCensoredDeny.Merge(b.domCensoredDeny)
-	a.hostCensoredDeny.Merge(b.hostCensoredDeny)
-	a.hostAllowed.Merge(b.hostAllowed)
-	a.tokAllowed.Merge(b.tokAllowed)
-	a.tokProxied.Merge(b.tokProxied)
-	a.censoredURLs = append(a.censoredURLs, b.censoredURLs...)
-	if len(a.censoredURLs) > a.opt.MaxStoredCensoredURLs {
-		a.censoredURLs = a.censoredURLs[:a.opt.MaxStoredCensoredURLs]
-	}
-	a.countryCensored.Merge(b.countryCensored)
-	a.countryAllowed.Merge(b.countryAllowed)
-	for k, v := range b.subnets {
-		st := a.subnets[k]
-		if st == nil {
-			st = newSubnetStat()
-			a.subnets[k] = st
-		}
-		st.Censored += v.Censored
-		st.Allowed += v.Allowed
-		st.Proxied += v.Proxied
-		for ip := range v.CensoredIPs {
-			st.CensoredIPs[ip] = struct{}{}
-		}
-		for ip := range v.AllowedIPs {
-			st.AllowedIPs[ip] = struct{}{}
-		}
-		for ip := range v.ProxIPs {
-			st.ProxIPs[ip] = struct{}{}
-		}
-	}
-	for k, v := range b.osn {
-		ts := a.osn[k]
-		if ts == nil {
-			ts = &triple{}
-			a.osn[k] = ts
-		}
-		ts.Censored += v.Censored
-		ts.Allowed += v.Allowed
-		ts.Proxied += v.Proxied
-	}
-	for k, v := range b.fbPages {
-		ps := a.fbPages[k]
-		if ps == nil {
-			ps = &pageStat{}
-			a.fbPages[k] = ps
-		}
-		ps.Censored += v.Censored
-		ps.Allowed += v.Allowed
-		ps.Proxied += v.Proxied
-		ps.CustomCategory = ps.CustomCategory || v.CustomCategory
-	}
-	for k, v := range b.fbPaths {
-		ts := a.fbPaths[k]
-		if ts == nil {
-			ts = &triple{}
-			a.fbPaths[k] = ts
-		}
-		ts.Censored += v.Censored
-		ts.Allowed += v.Allowed
-		ts.Proxied += v.Proxied
-	}
-	a.fbCens += b.fbCens
-	a.torTotal += b.torTotal
-	a.torHTTP += b.torHTTP
-	a.torOnion += b.torOnion
-	a.torCensored += b.torCensored
-	a.torErrors += b.torErrors
-	mergeI64(a.torHourly, b.torHourly)
-	mergeI64(a.torCensHourly, b.torCensHourly)
-	mergeI64(a.torSG44SlotCens, b.torSG44SlotCens)
-	for ip := range b.torCensoredIPs {
-		a.torCensoredIPs[ip] = struct{}{}
-	}
-	for hour, set := range b.torAllowedIPsByHour {
-		mine := a.torAllowedIPsByHour[hour]
-		if mine == nil {
-			mine = map[uint32]struct{}{}
-			a.torAllowedIPsByHour[hour] = mine
-		}
-		for ip := range set {
-			mine[ip] = struct{}{}
-		}
-	}
-	a.anonAllowed.Merge(b.anonAllowed)
-	a.anonCensored.Merge(b.anonCensored)
-	a.httpsTotal += b.httpsTotal
-	a.httpsCensored += b.httpsCensored
-	a.httpsCensoredIPHost += b.httpsCensoredIPHost
-	a.btTotal += b.btTotal
-	a.btCensored += b.btCensored
-	for k := range b.btPeers {
-		a.btPeers[k] = struct{}{}
-	}
-	for k := range b.btHashes {
-		a.btHashes[k] = struct{}{}
-	}
-	a.btTrackers.Merge(b.btTrackers)
-	a.gcTotal += b.gcTotal
-	a.gcCensored += b.gcCensored
 }
 
 func mergeU16(dst, src map[uint16]uint64) {

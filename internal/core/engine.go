@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+	"syriafilter/internal/urlx"
+)
+
+// Metric is one self-contained analysis module: an accumulator for the
+// state behind one slice of the paper's evaluation (a table, a figure, or
+// a closely related group of them). Modules are independent — an Engine
+// can run any subset — and mergeable, so they compose with the parallel
+// pipeline the same way the monolithic Analyzer always did.
+type Metric interface {
+	// Name returns the module's registry name (stable, lowercase).
+	Name() string
+	// Observe folds one record into the module. The record and the
+	// engine's shared recordCtx are only valid for the duration of the
+	// call.
+	Observe(rec *logfmt.Record)
+	// Merge folds another instance of the same module into this one.
+	// Implementations may assume other has the same dynamic type.
+	Merge(other Metric)
+}
+
+// recordCtx caches per-record derived values shared across modules, so
+// e.g. the registered domain is computed once per record no matter how
+// many modules consume it. Cheap derivations are eager; allocating or
+// scan-heavy ones are memoized on first use.
+type recordCtx struct {
+	rec         *logfmt.Record
+	class       logfmt.Class
+	censored    bool
+	allowed     bool
+	proxied     bool
+	slot        int64
+	sampleOneIn uint64
+
+	sampled    bool
+	sampledSet bool
+	domain     string
+	domainSet  bool
+	userKey    string
+	userSet    bool
+	ipv4       uint32
+	isIP       bool
+	ipSet      bool
+}
+
+func (c *recordCtx) reset(rec *logfmt.Record, sampleOneIn uint64) {
+	c.rec = rec
+	c.class = rec.Class()
+	c.censored = c.class == logfmt.ClassCensored
+	c.allowed = c.class == logfmt.ClassAllowed
+	c.proxied = rec.IsProxied()
+	c.slot = rec.Time / SlotSeconds
+	c.sampleOneIn = sampleOneIn
+	c.sampledSet = false
+	c.domainSet = false
+	c.userSet = false
+	c.ipSet = false
+}
+
+// Sampled reports the record's Dsample membership, hashed at most once.
+func (c *recordCtx) Sampled() bool {
+	if !c.sampledSet {
+		c.sampled = sampleHit(c.rec, c.sampleOneIn)
+		c.sampledSet = true
+	}
+	return c.sampled
+}
+
+// Domain returns the record's registered domain, computed at most once.
+func (c *recordCtx) Domain() string {
+	if !c.domainSet {
+		c.domain = urlx.RegisteredDomain(c.rec.Host)
+		c.domainSet = true
+	}
+	return c.domain
+}
+
+// UserKey returns the record's §4 user key, computed at most once.
+func (c *recordCtx) UserKey() string {
+	if !c.userSet {
+		c.userKey = c.rec.UserKey()
+		c.userSet = true
+	}
+	return c.userKey
+}
+
+// IPv4 parses the host as an IPv4 literal, at most once.
+func (c *recordCtx) IPv4() (uint32, bool) {
+	if !c.ipSet {
+		c.ipv4, c.isIP = urlx.ParseIPv4(c.rec.Host)
+		c.ipSet = true
+	}
+	return c.ipv4, c.isIP
+}
+
+// sampleHit implements the deterministic 1-in-N Dsample membership.
+func sampleHit(rec *logfmt.Record, oneIn uint64) bool {
+	h := stats.Hash64(rec.Host) ^ uint64(rec.Time)*0x9e3779b97f4a7c15 ^ uint64(len(rec.Path))
+	return h%oneIn == 0
+}
+
+// moduleDef is one registry entry: a module name and its constructor.
+// Constructors receive the engine so modules can share its Options and
+// recordCtx.
+type moduleDef struct {
+	name  string
+	build func(e *Engine) Metric
+}
+
+// moduleRegistry lists every metric module in canonical order. The order
+// fixes both Observe dispatch and Merge pairing.
+var moduleRegistry = []moduleDef{
+	{"datasets", func(e *Engine) Metric { return newDatasetsMetric(e) }},
+	{"domains", func(e *Engine) Metric { return newDomainsMetric(e) }},
+	{"ports", func(e *Engine) Metric { return newPortsMetric(e) }},
+	{"timeseries", func(e *Engine) Metric { return newTimeseriesMetric(e) }},
+	{"proxies", func(e *Engine) Metric { return newProxiesMetric(e) }},
+	{"users", func(e *Engine) Metric { return newUsersMetric(e) }},
+	{"categories", func(e *Engine) Metric { return newCategoriesMetric(e) }},
+	{"redirects", func(e *Engine) Metric { return newRedirectsMetric(e) }},
+	{"tokens", func(e *Engine) Metric { return newTokensMetric(e) }},
+	{"countries", func(e *Engine) Metric { return newCountriesMetric(e) }},
+	{"subnets", func(e *Engine) Metric { return newSubnetsMetric(e) }},
+	{"osn", func(e *Engine) Metric { return newOSNMetric(e) }},
+	{"facebook", func(e *Engine) Metric { return newFacebookMetric(e) }},
+	{"tor", func(e *Engine) Metric { return newTorMetric(e) }},
+	{"anonymizers", func(e *Engine) Metric { return newAnonymizersMetric(e) }},
+	{"https", func(e *Engine) Metric { return newHTTPSMetric(e) }},
+	{"bittorrent", func(e *Engine) Metric { return newBitTorrentMetric(e) }},
+	{"gcache", func(e *Engine) Metric { return newGCacheMetric(e) }},
+}
+
+// AllMetrics returns every registered module name in canonical order.
+func AllMetrics() []string {
+	out := make([]string, len(moduleRegistry))
+	for i, d := range moduleRegistry {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Engine composes metric modules: it derives the shared per-record
+// context once, dispatches each record to every registered module, and
+// merges module-by-module. A full engine (every module) is exactly the
+// old monolithic Analyzer; a subset engine pays only for the modules the
+// requested tables and figures need.
+//
+// Like the Analyzer, an Engine is not safe for concurrent use; run one
+// per pipeline worker and Merge.
+type Engine struct {
+	opt     Options
+	cx      recordCtx
+	modules []Metric
+	byName  map[string]Metric
+}
+
+// NewEngine builds an engine with the named modules, in registry order
+// regardless of argument order. No names selects every module. Unknown
+// names are an error.
+func NewEngine(opt Options, metrics ...string) (*Engine, error) {
+	opt.defaults()
+	want := map[string]bool{}
+	for _, name := range metrics {
+		want[name] = true
+	}
+	e := &Engine{opt: opt, byName: make(map[string]Metric)}
+	for _, d := range moduleRegistry {
+		if len(metrics) > 0 && !want[d.name] {
+			continue
+		}
+		m := d.build(e)
+		e.modules = append(e.modules, m)
+		e.byName[d.name] = m
+		delete(want, d.name)
+	}
+	if len(metrics) > 0 && len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("core: unknown metric modules %v (known: %v)", unknown, AllMetrics())
+	}
+	return e, nil
+}
+
+// Metrics returns the names of this engine's registered modules, in
+// dispatch order.
+func (e *Engine) Metrics() []string {
+	out := make([]string, len(e.modules))
+	for i, m := range e.modules {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// Metric returns the named module, or nil when it is not registered.
+func (e *Engine) Metric(name string) Metric { return e.byName[name] }
+
+// Observe folds one record into every registered module.
+func (e *Engine) Observe(rec *logfmt.Record) {
+	e.cx.reset(rec, e.opt.SampleOneIn)
+	for _, m := range e.modules {
+		m.Observe(rec)
+	}
+}
+
+// Merge folds b into e. Both engines must carry the same module set and
+// have been built with equivalent Options.
+func (e *Engine) Merge(b *Engine) {
+	if len(e.modules) != len(b.modules) {
+		panic(fmt.Sprintf("core: merging engines with different module sets: %v vs %v", e.Metrics(), b.Metrics()))
+	}
+	for i, m := range e.modules {
+		o := b.modules[i]
+		if m.Name() != o.Name() {
+			panic(fmt.Sprintf("core: merging engines with different module sets: %v vs %v", e.Metrics(), b.Metrics()))
+		}
+		m.Merge(o)
+	}
+}
+
+// inSample reports the deterministic Dsample membership of rec under this
+// engine's options.
+func (e *Engine) inSample(rec *logfmt.Record) bool {
+	return sampleHit(rec, e.opt.SampleOneIn)
+}
+
+// mod returns the named module or panics with a clear message naming the
+// result that needed it. Result methods call it so that asking a subset
+// engine for a table it was not built for fails loudly instead of
+// returning silently-empty rows.
+func (e *Engine) mod(name, result string) Metric {
+	m := e.byName[name]
+	if m == nil {
+		panic(fmt.Sprintf("core: %s needs metric module %q, which this engine was built without (have %v)", result, name, e.Metrics()))
+	}
+	return m
+}
+
+// Typed module accessors for the result functions.
+
+func (e *Engine) mDatasets(result string) *datasetsMetric {
+	return e.mod("datasets", result).(*datasetsMetric)
+}
+
+func (e *Engine) mDomains(result string) *domainsMetric {
+	return e.mod("domains", result).(*domainsMetric)
+}
+
+func (e *Engine) mPorts(result string) *portsMetric {
+	return e.mod("ports", result).(*portsMetric)
+}
+
+func (e *Engine) mTimeseries(result string) *timeseriesMetric {
+	return e.mod("timeseries", result).(*timeseriesMetric)
+}
+
+func (e *Engine) mProxies(result string) *proxiesMetric {
+	return e.mod("proxies", result).(*proxiesMetric)
+}
+
+func (e *Engine) mUsers(result string) *usersMetric {
+	return e.mod("users", result).(*usersMetric)
+}
+
+func (e *Engine) mCategories(result string) *categoriesMetric {
+	return e.mod("categories", result).(*categoriesMetric)
+}
+
+func (e *Engine) mRedirects(result string) *redirectsMetric {
+	return e.mod("redirects", result).(*redirectsMetric)
+}
+
+func (e *Engine) mTokens(result string) *tokensMetric {
+	return e.mod("tokens", result).(*tokensMetric)
+}
+
+func (e *Engine) mCountries(result string) *countriesMetric {
+	return e.mod("countries", result).(*countriesMetric)
+}
+
+func (e *Engine) mSubnets(result string) *subnetsMetric {
+	return e.mod("subnets", result).(*subnetsMetric)
+}
+
+func (e *Engine) mOSN(result string) *osnMetric {
+	return e.mod("osn", result).(*osnMetric)
+}
+
+func (e *Engine) mFacebook(result string) *facebookMetric {
+	return e.mod("facebook", result).(*facebookMetric)
+}
+
+func (e *Engine) mTor(result string) *torMetric {
+	return e.mod("tor", result).(*torMetric)
+}
+
+func (e *Engine) mAnonymizers(result string) *anonymizersMetric {
+	return e.mod("anonymizers", result).(*anonymizersMetric)
+}
+
+func (e *Engine) mHTTPS(result string) *httpsMetric {
+	return e.mod("https", result).(*httpsMetric)
+}
+
+func (e *Engine) mBitTorrent(result string) *bittorrentMetric {
+	return e.mod("bittorrent", result).(*bittorrentMetric)
+}
+
+func (e *Engine) mGCache(result string) *gcacheMetric {
+	return e.mod("gcache", result).(*gcacheMetric)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// experimentModules declares, for every experiment id of the paper's
+// evaluation (the ids cmd/censorlyzer accepts), exactly the metric
+// modules its result functions read. This is the subset-selection table:
+// producing one table pays only for that table's modules.
+var experimentModules = map[string][]string{
+	"table1":  {"datasets"},
+	"table3":  {"datasets"},
+	"table4":  {"domains"},
+	"table5":  {"timeseries"},
+	"table6":  {"proxies"},
+	"table7":  {"redirects"},
+	"table8":  {"domains", "tokens"},
+	"table9":  {"domains", "tokens"},
+	"table10": {"domains", "tokens"},
+	"table11": {"countries"},
+	"table12": {"subnets"},
+	"table13": {"osn"},
+	"table14": {"facebook"},
+	"table15": {"facebook"},
+	"fig1":    {"ports"},
+	"fig2":    {"domains"},
+	"fig3":    {"categories"},
+	"fig4":    {"users"},
+	"fig5":    {"timeseries"},
+	"fig6":    {"timeseries"},
+	"fig7":    {"proxies"},
+	"fig8":    {"tor"},
+	"fig9":    {"tor"},
+	"fig10":   {"anonymizers"},
+	"https":   {"https"},
+	// bt resolves titles against the discovered keyword blacklist, so it
+	// needs the discovery inputs on top of the announce counters.
+	"bt":          {"bittorrent", "domains", "tokens"},
+	"gcache":      {"gcache"},
+	"probing":     {"datasets", "domains", "tokens"},
+	"groundtruth": {"domains", "tokens"},
+}
+
+// Experiments returns every known experiment id, sorted.
+func Experiments() []string {
+	out := make([]string, 0, len(experimentModules))
+	for id := range experimentModules {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModulesFor returns the union of metric modules needed by the named
+// experiments, in canonical registry order. Unknown ids are an error.
+func ModulesFor(ids ...string) ([]string, error) {
+	want := map[string]bool{}
+	for _, id := range ids {
+		mods, ok := experimentModules[id]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown experiment id %q (known: %v)", id, Experiments())
+		}
+		for _, m := range mods {
+			want[m] = true
+		}
+	}
+	out := make([]string, 0, len(want))
+	for _, d := range moduleRegistry {
+		if want[d.name] {
+			out = append(out, d.name)
+		}
+	}
+	return out, nil
+}

@@ -18,8 +18,9 @@ type PortCount struct {
 
 // PortDistribution returns the allowed and censored per-port request
 // counts, descending by count.
-func (a *Analyzer) PortDistribution() (allowed, censored []PortCount) {
-	return sortPorts(a.portAllowed), sortPorts(a.portCensored)
+func (e *Engine) PortDistribution() (allowed, censored []PortCount) {
+	m := e.mPorts("PortDistribution")
+	return sortPorts(m.allowed), sortPorts(m.censored)
 }
 
 func sortPorts(m map[uint16]uint64) []PortCount {
@@ -48,14 +49,17 @@ type FreqSeries struct {
 
 // DomainFreqDistribution returns the Fig 2 curves for allowed, denied
 // (errors) and censored traffic.
-func (a *Analyzer) DomainFreqDistribution() []FreqSeries {
+func (e *Engine) DomainFreqDistribution() []FreqSeries {
+	dm := e.mDomains("DomainFreqDistribution")
 	mk := func(name string, c *stats.Counter) FreqSeries {
 		counts := make([]uint64, 0, c.Len())
 		samples := make([]float64, 0, c.Len())
-		c.Each(func(_ string, n uint64) {
-			counts = append(counts, n)
-			samples = append(samples, float64(n))
-		})
+		// Top(0) yields a sorted order, so the float summation inside
+		// FitPowerLaw is deterministic run to run.
+		for _, en := range c.Top(0) {
+			counts = append(counts, en.Count)
+			samples = append(samples, float64(en.Count))
+		}
 		fs := FreqSeries{Class: name, Points: stats.FreqOfFreq(counts)}
 		if fit, err := stats.FitPowerLaw(samples, 1); err == nil {
 			fs.Alpha = fit.Alpha
@@ -63,9 +67,9 @@ func (a *Analyzer) DomainFreqDistribution() []FreqSeries {
 		return fs
 	}
 	return []FreqSeries{
-		mk("allowed", a.domAllowed),
-		mk("denied", a.domDenied),
-		mk("censored", a.domCensored),
+		mk("allowed", dm.allowed),
+		mk("denied", dm.denied),
+		mk("censored", dm.censored),
 	}
 }
 
@@ -80,16 +84,17 @@ type CategoryShare struct {
 
 // CensoredCategories returns the category distribution of censored
 // traffic. sample selects the Dsample-based variant the paper plots.
-func (a *Analyzer) CensoredCategories(sample bool) []CategoryShare {
-	c := a.catCensoredFull
+func (e *Engine) CensoredCategories(sample bool) []CategoryShare {
+	m := e.mCategories("CensoredCategories")
+	c := m.censoredFull
 	if sample {
-		c = a.catCensoredSample
+		c = m.censoredSample
 	}
 	total := c.Total()
 	entries := c.Top(0)
 	out := make([]CategoryShare, len(entries))
-	for i, e := range entries {
-		out[i] = CategoryShare{Category: e.Key, Count: e.Count, Share: frac(e.Count, total)}
+	for i, en := range entries {
+		out[i] = CategoryShare{Category: en.Key, Count: en.Count, Share: frac(en.Count, total)}
 	}
 	return out
 }
@@ -119,10 +124,11 @@ type UserReport struct {
 }
 
 // UserAnalysis computes the Duser-based per-user view.
-func (a *Analyzer) UserAnalysis() UserReport {
+func (e *Engine) UserAnalysis() UserReport {
+	m := e.mUsers("UserAnalysis")
 	rep := UserReport{CensoredPerUser: make([]uint64, 16)}
 	var actC, actO []float64
-	for _, us := range a.users {
+	for _, us := range m.users {
 		rep.TotalUsers++
 		if us.Censored > 0 {
 			rep.CensoredUsers++
@@ -167,14 +173,15 @@ type SeriesPoint struct {
 
 // TimeSeries returns the censored/allowed series over [fromUnix, toUnix),
 // with empty slots materialized as zeros.
-func (a *Analyzer) TimeSeries(fromUnix, toUnix int64) []SeriesPoint {
+func (e *Engine) TimeSeries(fromUnix, toUnix int64) []SeriesPoint {
+	m := e.mTimeseries("TimeSeries")
 	var out []SeriesPoint
 	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
 		slot := t / SlotSeconds
 		out = append(out, SeriesPoint{
 			Unix:     t,
-			Allowed:  a.slotAllowed[slot],
-			Censored: a.slotCensored[slot],
+			Allowed:  m.slotAllowed[slot],
+			Censored: m.slotCensored[slot],
 		})
 	}
 	return out
@@ -187,12 +194,13 @@ type RCVPoint struct {
 }
 
 // RCV computes Fig 6 over [fromUnix, toUnix).
-func (a *Analyzer) RCV(fromUnix, toUnix int64) []RCVPoint {
+func (e *Engine) RCV(fromUnix, toUnix int64) []RCVPoint {
+	m := e.mTimeseries("RCV")
 	var out []RCVPoint
 	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
 		slot := t / SlotSeconds
-		cens := a.slotCensored[slot]
-		total := cens + a.slotAllowed[slot]
+		cens := m.slotCensored[slot]
+		total := cens + m.slotAllowed[slot]
 		p := RCVPoint{Unix: t}
 		if total > 0 {
 			p.RCV = float64(cens) / float64(total)
@@ -212,13 +220,14 @@ type ProxyLoad struct {
 }
 
 // ProxyLoads returns per-proxy totals (SG-42..48 order).
-func (a *Analyzer) ProxyLoads() []ProxyLoad {
+func (e *Engine) ProxyLoads() []ProxyLoad {
+	m := e.mProxies("ProxyLoads")
 	out := make([]ProxyLoad, logfmt.NumProxies)
 	for i := range out {
 		out[i] = ProxyLoad{
 			SG:       logfmt.FirstProxy + i,
-			Total:    a.proxyTotal[i],
-			Censored: a.proxyCensored[i],
+			Total:    m.total[i],
+			Censored: m.censored[i],
 		}
 	}
 	return out
@@ -227,10 +236,11 @@ func (a *Analyzer) ProxyLoads() []ProxyLoad {
 // ProxyShareSeries returns, for each 5-minute slot in [from, to), each
 // proxy's share of (total | censored) traffic — the stacked bands of
 // Fig 7.
-func (a *Analyzer) ProxyShareSeries(fromUnix, toUnix int64, censored bool) []([7]float64) {
-	src := a.proxySlotTotal
+func (e *Engine) ProxyShareSeries(fromUnix, toUnix int64, censored bool) []([7]float64) {
+	m := e.mProxies("ProxyShareSeries")
+	src := m.slotTotal
 	if censored {
-		src = a.proxySlotCensored
+		src = m.slotCensored
 	}
 	var out [][7]float64
 	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
@@ -266,17 +276,18 @@ type TorReport struct {
 }
 
 // TorAnalysis returns the Tor summary (zero-valued without a consensus).
-func (a *Analyzer) TorAnalysis() TorReport {
+func (e *Engine) TorAnalysis() TorReport {
+	m := e.mTor("TorAnalysis")
 	rep := TorReport{
-		Total: a.torTotal, HTTP: a.torHTTP, Onion: a.torOnion,
-		Censored: a.torCensored, Errors: a.torErrors,
-		CensoredByProxy: a.torCensoredByProxy,
+		Total: m.total, HTTP: m.http, Onion: m.onion,
+		Censored: m.censored, Errors: m.errors,
+		CensoredByProxy: m.censoredByProxy,
 	}
 	relays := map[uint32]struct{}{}
-	for ip := range a.torCensoredIPs {
+	for ip := range m.censoredIPs {
 		relays[ip] = struct{}{}
 	}
-	for _, set := range a.torAllowedIPsByHour {
+	for _, set := range m.allowedIPsByHour {
 		for ip := range set {
 			relays[ip] = struct{}{}
 		}
@@ -293,11 +304,12 @@ type HourPoint struct {
 }
 
 // TorHourly returns the per-hour Tor request series over [from, to).
-func (a *Analyzer) TorHourly(fromUnix, toUnix int64) []HourPoint {
+func (e *Engine) TorHourly(fromUnix, toUnix int64) []HourPoint {
+	m := e.mTor("TorHourly")
 	var out []HourPoint
 	for t := fromUnix - fromUnix%3600; t < toUnix; t += 3600 {
 		hour := t / 3600
-		out = append(out, HourPoint{Unix: t, Total: a.torHourly[hour], Censored: a.torCensHourly[hour]})
+		out = append(out, HourPoint{Unix: t, Total: m.hourly[hour], Censored: m.censHourly[hour]})
 	}
 	return out
 }
@@ -318,18 +330,19 @@ type RFilterPoint struct {
 //	Rfilter(k) = 1 - |Censored-IPs ∩ Allowed-IPs(k)| / |Censored-IPs|
 //
 // over [fromUnix, toUnix). Returns nil if no Tor relay was ever censored.
-func (a *Analyzer) RFilter(fromUnix, toUnix int64) []RFilterPoint {
-	if len(a.torCensoredIPs) == 0 {
+func (e *Engine) RFilter(fromUnix, toUnix int64) []RFilterPoint {
+	m := e.mTor("RFilter")
+	if len(m.censoredIPs) == 0 {
 		return nil
 	}
-	total := float64(len(a.torCensoredIPs))
+	total := float64(len(m.censoredIPs))
 	var out []RFilterPoint
 	for t := fromUnix - fromUnix%3600; t < toUnix; t += 3600 {
 		hour := t / 3600
-		allowed := a.torAllowedIPsByHour[hour]
+		allowed := m.allowedIPsByHour[hour]
 		inter := 0
 		for ip := range allowed {
-			if _, ok := a.torCensoredIPs[ip]; ok {
+			if _, ok := m.censoredIPs[ip]; ok {
 				inter++
 			}
 		}
@@ -358,18 +371,19 @@ type AnonymizerReport struct {
 }
 
 // Anonymizers computes the anonymizer-service view.
-func (a *Analyzer) Anonymizers() AnonymizerReport {
+func (e *Engine) Anonymizers() AnonymizerReport {
+	m := e.mAnonymizers("Anonymizers")
 	rep := AnonymizerReport{}
 	hosts := map[string]struct{}{}
-	a.anonAllowed.Each(func(h string, _ uint64) { hosts[h] = struct{}{} })
-	a.anonCensored.Each(func(h string, _ uint64) { hosts[h] = struct{}{} })
+	m.allowed.Each(func(h string, _ uint64) { hosts[h] = struct{}{} })
+	m.censored.Each(func(h string, _ uint64) { hosts[h] = struct{}{} })
 	rep.Hosts = len(hosts)
-	rep.Requests = a.anonAllowed.Total() + a.anonCensored.Total()
+	rep.Requests = m.allowed.Total() + m.censored.Total()
 
 	var reqs, ratios []float64
 	for h := range hosts {
-		cens := a.anonCensored.Count(h)
-		allow := a.anonAllowed.Count(h)
+		cens := m.censored.Count(h)
+		allow := m.allowed.Count(h)
 		if cens == 0 {
 			rep.NeverFiltered++
 			reqs = append(reqs, float64(allow))
@@ -398,15 +412,16 @@ type HTTPSReport struct {
 }
 
 // HTTPSAnalysis summarizes CONNECT/HTTPS traffic.
-func (a *Analyzer) HTTPSAnalysis() HTTPSReport {
+func (e *Engine) HTTPSAnalysis() HTTPSReport {
+	m := e.mHTTPS("HTTPSAnalysis")
 	rep := HTTPSReport{
-		Total:             a.httpsTotal,
-		Censored:          a.httpsCensored,
-		CensoredIPLiteral: a.httpsCensoredIPHost,
+		Total:             m.total,
+		Censored:          m.censored,
+		CensoredIPLiteral: m.censoredIPLit,
 	}
-	rep.ShareOfTraffic = frac(a.httpsTotal, a.datasets[DFull].Total)
-	rep.CensoredShare = frac(a.httpsCensored, a.httpsTotal)
-	rep.IPLiteralShare = frac(a.httpsCensoredIPHost, a.httpsCensored)
+	rep.ShareOfTraffic = frac(m.total, m.grandTotal)
+	rep.CensoredShare = frac(m.censored, m.total)
+	rep.IPLiteralShare = frac(m.censoredIPLit, m.censored)
 	return rep
 }
 
@@ -432,19 +447,20 @@ type BitTorrentReport struct {
 // BitTorrent summarizes tracker-announce traffic. keywords is the
 // blacklist to check titles against (pass the Table 10 discovery output
 // or the ground-truth list).
-func (a *Analyzer) BitTorrent(keywords []string) BitTorrentReport {
+func (e *Engine) BitTorrent(keywords []string) BitTorrentReport {
+	m := e.mBitTorrent("BitTorrent")
 	rep := BitTorrentReport{
-		Announces: a.btTotal,
-		Users:     len(a.btPeers),
-		Contents:  len(a.btHashes),
-		Censored:  a.btCensored,
+		Announces: m.total,
+		Users:     len(m.peers),
+		Contents:  len(m.hashes),
+		Censored:  m.censored,
 	}
-	rep.AllowedShare = frac(a.btTotal-a.btCensored, a.btTotal)
-	rep.TopTrackers = sharesOf(a.btTrackers, 5)
-	if a.opt.TitleDB != nil {
+	rep.AllowedShare = frac(m.total-m.censored, m.total)
+	rep.TopTrackers = sharesOf(m.trackers, 5)
+	if e.opt.TitleDB != nil {
 		tools := []string{"ultrasurf", "hidemyass", "hide ip", "anonymous browser"}
-		for hash := range a.btHashes {
-			title, ok := a.opt.TitleDB.Resolve(hash)
+		for hash := range m.hashes {
+			title, ok := e.opt.TitleDB.Resolve(hash)
 			if !ok {
 				continue
 			}
@@ -470,6 +486,7 @@ type GoogleCacheReport struct {
 }
 
 // GoogleCache summarizes webcache.googleusercontent.com traffic.
-func (a *Analyzer) GoogleCache() GoogleCacheReport {
-	return GoogleCacheReport{Total: a.gcTotal, Censored: a.gcCensored}
+func (e *Engine) GoogleCache() GoogleCacheReport {
+	m := e.mGCache("GoogleCache")
+	return GoogleCacheReport{Total: m.total, Censored: m.censored}
 }

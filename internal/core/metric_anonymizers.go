@@ -1,0 +1,44 @@
+package core
+
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+)
+
+// anonymizersMetric accumulates the §7.2 anonymizer-service host counts
+// (Figure 10).
+type anonymizersMetric struct {
+	cx  *recordCtx
+	opt *Options
+
+	allowed  *stats.Counter
+	censored *stats.Counter
+}
+
+func newAnonymizersMetric(e *Engine) *anonymizersMetric {
+	return &anonymizersMetric{
+		cx:       &e.cx,
+		opt:      &e.opt,
+		allowed:  stats.NewCounter(),
+		censored: stats.NewCounter(),
+	}
+}
+
+func (m *anonymizersMetric) Name() string { return "anonymizers" }
+
+func (m *anonymizersMetric) Observe(rec *logfmt.Record) {
+	if !m.opt.Categories.IsAnonymizer(rec.Host) {
+		return
+	}
+	if m.cx.censored {
+		m.censored.Add(rec.Host)
+	} else if m.cx.allowed {
+		m.allowed.Add(rec.Host)
+	}
+}
+
+func (m *anonymizersMetric) Merge(other Metric) {
+	o := other.(*anonymizersMetric)
+	m.allowed.Merge(o.allowed)
+	m.censored.Merge(o.censored)
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"syriafilter/internal/bittorrent"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+)
+
+// bittorrentMetric accumulates tracker-announce traffic (§7.3): distinct
+// peers, contents, and per-tracker announce counts.
+type bittorrentMetric struct {
+	cx *recordCtx
+
+	total, censored uint64
+	peers           map[[20]byte]struct{}
+	hashes          map[[20]byte]struct{}
+	trackers        *stats.Counter
+}
+
+func newBitTorrentMetric(e *Engine) *bittorrentMetric {
+	return &bittorrentMetric{
+		cx:       &e.cx,
+		peers:    map[[20]byte]struct{}{},
+		hashes:   map[[20]byte]struct{}{},
+		trackers: stats.NewCounter(),
+	}
+}
+
+func (m *bittorrentMetric) Name() string { return "bittorrent" }
+
+func (m *bittorrentMetric) Observe(rec *logfmt.Record) {
+	if !bittorrent.IsAnnouncePath(rec.Path) {
+		return
+	}
+	ann, err := bittorrent.ParseAnnounce(rec.Path, rec.Query)
+	if err != nil {
+		return
+	}
+	m.total++
+	m.peers[ann.PeerID] = struct{}{}
+	m.hashes[ann.InfoHash] = struct{}{}
+	m.trackers.Add(rec.Host)
+	if m.cx.censored {
+		m.censored++
+	}
+}
+
+func (m *bittorrentMetric) Merge(other Metric) {
+	o := other.(*bittorrentMetric)
+	m.total += o.total
+	m.censored += o.censored
+	for k := range o.peers {
+		m.peers[k] = struct{}{}
+	}
+	for k := range o.hashes {
+		m.hashes[k] = struct{}{}
+	}
+	m.trackers.Merge(o.trackers)
+}

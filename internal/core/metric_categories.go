@@ -1,0 +1,47 @@
+package core
+
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+)
+
+// categoriesMetric accumulates the category distribution of censored
+// traffic (Figure 3), on the full corpus and on Dsample.
+type categoriesMetric struct {
+	cx  *recordCtx
+	opt *Options
+
+	censoredSample *stats.Counter
+	censoredFull   *stats.Counter
+}
+
+func newCategoriesMetric(e *Engine) *categoriesMetric {
+	return &categoriesMetric{
+		cx:             &e.cx,
+		opt:            &e.opt,
+		censoredSample: stats.NewCounter(),
+		censoredFull:   stats.NewCounter(),
+	}
+}
+
+func (m *categoriesMetric) Name() string { return "categories" }
+
+func (m *categoriesMetric) Observe(rec *logfmt.Record) {
+	if !m.cx.censored {
+		return
+	}
+	cat := string(m.opt.Categories.Classify(rec.Host))
+	if _, isIP := m.cx.IPv4(); isIP {
+		cat = "Content Server" // CDNs/raw hosts; the paper's top bucket
+	}
+	m.censoredFull.Add(cat)
+	if m.cx.Sampled() {
+		m.censoredSample.Add(cat)
+	}
+}
+
+func (m *categoriesMetric) Merge(other Metric) {
+	o := other.(*categoriesMetric)
+	m.censoredSample.Merge(o.censoredSample)
+	m.censoredFull.Merge(o.censoredFull)
+}

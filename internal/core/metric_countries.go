@@ -1,0 +1,49 @@
+package core
+
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+)
+
+// countriesMetric accumulates per-country censored/allowed counts over
+// IP-literal destinations (Table 11).
+type countriesMetric struct {
+	cx  *recordCtx
+	opt *Options
+
+	censored *stats.Counter
+	allowed  *stats.Counter
+}
+
+func newCountriesMetric(e *Engine) *countriesMetric {
+	return &countriesMetric{
+		cx:       &e.cx,
+		opt:      &e.opt,
+		censored: stats.NewCounter(),
+		allowed:  stats.NewCounter(),
+	}
+}
+
+func (m *countriesMetric) Name() string { return "countries" }
+
+func (m *countriesMetric) Observe(rec *logfmt.Record) {
+	ip, isIP := m.cx.IPv4()
+	if !isIP {
+		return
+	}
+	country := m.opt.GeoDB.Country(ip)
+	if country == "" {
+		return
+	}
+	if m.cx.censored {
+		m.censored.Add(country)
+	} else if m.cx.allowed {
+		m.allowed.Add(country)
+	}
+}
+
+func (m *countriesMetric) Merge(other Metric) {
+	o := other.(*countriesMetric)
+	m.censored.Merge(o.censored)
+	m.allowed.Merge(o.allowed)
+}

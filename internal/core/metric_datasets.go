@@ -1,0 +1,45 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// datasetsMetric accumulates the four datasets of Table 1 and their
+// class × exception breakdown (Table 3).
+type datasetsMetric struct {
+	cx       *recordCtx
+	datasets [numDatasets]ClassCounts
+}
+
+func newDatasetsMetric(e *Engine) *datasetsMetric {
+	return &datasetsMetric{cx: &e.cx}
+}
+
+func (m *datasetsMetric) Name() string { return "datasets" }
+
+func (m *datasetsMetric) Observe(rec *logfmt.Record) {
+	m.bump(DFull, rec)
+	if m.cx.Sampled() {
+		m.bump(DSample, rec)
+	}
+	if m.cx.UserKey() != "" {
+		m.bump(DUser, rec)
+	}
+	if rec.IsDeniedAny() {
+		m.bump(DDenied, rec)
+	}
+}
+
+func (m *datasetsMetric) bump(id DatasetID, rec *logfmt.Record) {
+	c := &m.datasets[id]
+	c.Total++
+	c.ByException[rec.Exception]++
+	if m.cx.proxied {
+		c.Proxied++
+	}
+}
+
+func (m *datasetsMetric) Merge(other Metric) {
+	o := other.(*datasetsMetric)
+	for i := range m.datasets {
+		m.datasets[i].merge(&o.datasets[i])
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+	"syriafilter/internal/urlx"
+)
+
+// domainsMetric accumulates per-class registered-domain, host and TLD
+// counters: Table 4, Figure 2, and the domain-side inputs of the §5.4
+// discovery algorithm (Tables 8–10 share it with the tokens module).
+type domainsMetric struct {
+	cx *recordCtx
+
+	allowed  *stats.Counter // registered domains, allowed
+	censored *stats.Counter // registered domains, censored
+	denied   *stats.Counter // registered domains, errors
+	proxied  *stats.Counter // registered domains, served from cache
+
+	tldCensored *stats.Counter
+	tldAllowed  *stats.Counter
+
+	// policy_denied-only domain counts (discovery input; redirects are
+	// handled by the custom-category analysis instead), plus host-level
+	// counts: URL blacklists can target single hosts (messenger.live.com)
+	// whose registered domain stays partly allowed.
+	censoredDeny     *stats.Counter
+	hostCensoredDeny *stats.Counter
+	hostAllowed      *stats.Counter
+}
+
+func newDomainsMetric(e *Engine) *domainsMetric {
+	return &domainsMetric{
+		cx:               &e.cx,
+		allowed:          stats.NewCounter(),
+		censored:         stats.NewCounter(),
+		denied:           stats.NewCounter(),
+		proxied:          stats.NewCounter(),
+		tldCensored:      stats.NewCounter(),
+		tldAllowed:       stats.NewCounter(),
+		censoredDeny:     stats.NewCounter(),
+		hostCensoredDeny: stats.NewCounter(),
+		hostAllowed:      stats.NewCounter(),
+	}
+}
+
+func (m *domainsMetric) Name() string { return "domains" }
+
+func (m *domainsMetric) Observe(rec *logfmt.Record) {
+	switch {
+	case m.cx.proxied:
+		m.proxied.Add(m.cx.Domain())
+	case m.cx.censored:
+		m.censored.Add(m.cx.Domain())
+		m.tldCensored.Add(urlx.TLD(rec.Host))
+		if rec.Exception == logfmt.ExPolicyDenied {
+			m.censoredDeny.Add(m.cx.Domain())
+			m.hostCensoredDeny.Add(rec.Host)
+		}
+	case m.cx.allowed:
+		m.allowed.Add(m.cx.Domain())
+		m.hostAllowed.Add(rec.Host)
+		m.tldAllowed.Add(urlx.TLD(rec.Host))
+	default:
+		m.denied.Add(m.cx.Domain())
+	}
+}
+
+func (m *domainsMetric) Merge(other Metric) {
+	o := other.(*domainsMetric)
+	m.allowed.Merge(o.allowed)
+	m.censored.Merge(o.censored)
+	m.denied.Merge(o.denied)
+	m.proxied.Merge(o.proxied)
+	m.tldCensored.Merge(o.tldCensored)
+	m.tldAllowed.Merge(o.tldAllowed)
+	m.censoredDeny.Merge(o.censoredDeny)
+	m.hostCensoredDeny.Merge(o.hostCensoredDeny)
+	m.hostAllowed.Merge(o.hostAllowed)
+}

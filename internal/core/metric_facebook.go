@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+
+	"syriafilter/internal/logfmt"
+)
+
+// facebookMetric accumulates the facebook.com-internal views: targeted
+// pages (Table 14) and platform elements / social plugins (Table 15).
+type facebookMetric struct {
+	cx    *recordCtx
+	pages map[string]*pageStat
+	paths map[string]*triple // facebook.com path stats (plugins)
+	cens  uint64             // censored requests on facebook.com domain
+}
+
+func newFacebookMetric(e *Engine) *facebookMetric {
+	return &facebookMetric{
+		cx:    &e.cx,
+		pages: map[string]*pageStat{},
+		paths: map[string]*triple{},
+	}
+}
+
+func (m *facebookMetric) Name() string { return "facebook" }
+
+func (m *facebookMetric) Observe(rec *logfmt.Record) {
+	if m.cx.Domain() != "facebook.com" {
+		return
+	}
+	if m.cx.censored {
+		m.cens++
+	}
+	path := rec.Path
+	if path == "" || path == "/" {
+		return
+	}
+	// Multi-segment paths and code-ish extensions are platform elements
+	// (plugins etc.); other single-segment paths are pages. Page names may
+	// contain dots (syria.news.F.N.N), so the extension alone is not a
+	// reliable discriminator.
+	if strings.Contains(path[1:], "/") || isCodeExt(rec.Ext) {
+		ts := m.paths[path]
+		if ts == nil {
+			ts = &triple{}
+			m.paths[path] = ts
+		}
+		bumpTriple(ts, m.cx.censored, m.cx.allowed, m.cx.proxied)
+		return
+	}
+	ps := m.pages[path]
+	if ps == nil {
+		ps = &pageStat{}
+		m.pages[path] = ps
+	}
+	switch {
+	case m.cx.proxied:
+		ps.Proxied++
+	case m.cx.censored:
+		ps.Censored++
+	case m.cx.allowed:
+		ps.Allowed++
+	}
+	if strings.Contains(rec.Categories, "Blocked sites") {
+		ps.CustomCategory = true
+	}
+}
+
+func (m *facebookMetric) Merge(other Metric) {
+	o := other.(*facebookMetric)
+	for k, v := range o.pages {
+		ps := m.pages[k]
+		if ps == nil {
+			ps = &pageStat{}
+			m.pages[k] = ps
+		}
+		ps.Censored += v.Censored
+		ps.Allowed += v.Allowed
+		ps.Proxied += v.Proxied
+		ps.CustomCategory = ps.CustomCategory || v.CustomCategory
+	}
+	for k, v := range o.paths {
+		ts := m.paths[k]
+		if ts == nil {
+			ts = &triple{}
+			m.paths[k] = ts
+		}
+		ts.Censored += v.Censored
+		ts.Allowed += v.Allowed
+		ts.Proxied += v.Proxied
+	}
+	m.cens += o.cens
+}

@@ -1,0 +1,31 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// gcacheMetric accumulates webcache.googleusercontent.com traffic (§7.4).
+type gcacheMetric struct {
+	cx              *recordCtx
+	total, censored uint64
+}
+
+func newGCacheMetric(e *Engine) *gcacheMetric {
+	return &gcacheMetric{cx: &e.cx}
+}
+
+func (m *gcacheMetric) Name() string { return "gcache" }
+
+func (m *gcacheMetric) Observe(rec *logfmt.Record) {
+	if rec.Host != "webcache.googleusercontent.com" {
+		return
+	}
+	m.total++
+	if m.cx.censored {
+		m.censored++
+	}
+}
+
+func (m *gcacheMetric) Merge(other Metric) {
+	o := other.(*gcacheMetric)
+	m.total += o.total
+	m.censored += o.censored
+}

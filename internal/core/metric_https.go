@@ -1,0 +1,43 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// httpsMetric accumulates the §4 HTTPS/CONNECT view. It counts every
+// record (grandTotal) so the traffic share is self-contained and a
+// subset engine needs no datasets module.
+type httpsMetric struct {
+	cx *recordCtx
+
+	grandTotal    uint64
+	total         uint64
+	censored      uint64
+	censoredIPLit uint64
+}
+
+func newHTTPSMetric(e *Engine) *httpsMetric {
+	return &httpsMetric{cx: &e.cx}
+}
+
+func (m *httpsMetric) Name() string { return "https" }
+
+func (m *httpsMetric) Observe(rec *logfmt.Record) {
+	m.grandTotal++
+	if rec.Method != "CONNECT" && rec.Scheme != "https" && rec.Scheme != "tcp" {
+		return
+	}
+	m.total++
+	if m.cx.censored {
+		m.censored++
+		if _, isIP := m.cx.IPv4(); isIP {
+			m.censoredIPLit++
+		}
+	}
+}
+
+func (m *httpsMetric) Merge(other Metric) {
+	o := other.(*httpsMetric)
+	m.grandTotal += o.grandTotal
+	m.total += o.total
+	m.censored += o.censored
+	m.censoredIPLit += o.censoredIPLit
+}

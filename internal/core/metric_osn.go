@@ -1,0 +1,41 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// osnMetric accumulates censored/allowed/proxied counts across the §6
+// social-network watchlist (Table 13). The map is pre-seeded with the
+// whole watchlist so never-seen OSNs still report zero rows.
+type osnMetric struct {
+	cx  *recordCtx
+	osn map[string]*triple
+}
+
+func newOSNMetric(e *Engine) *osnMetric {
+	m := &osnMetric{cx: &e.cx, osn: map[string]*triple{}}
+	for _, osn := range OSNWatchlist {
+		m.osn[osn] = &triple{}
+	}
+	return m
+}
+
+func (m *osnMetric) Name() string { return "osn" }
+
+func (m *osnMetric) Observe(rec *logfmt.Record) {
+	if ts, ok := m.osn[m.cx.Domain()]; ok {
+		bumpTriple(ts, m.cx.censored, m.cx.allowed, m.cx.proxied)
+	}
+}
+
+func (m *osnMetric) Merge(other Metric) {
+	o := other.(*osnMetric)
+	for k, v := range o.osn {
+		ts := m.osn[k]
+		if ts == nil {
+			ts = &triple{}
+			m.osn[k] = ts
+		}
+		ts.Censored += v.Censored
+		ts.Allowed += v.Allowed
+		ts.Proxied += v.Proxied
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// portsMetric accumulates the per-port request counts of Figure 1.
+type portsMetric struct {
+	cx       *recordCtx
+	allowed  map[uint16]uint64
+	censored map[uint16]uint64
+}
+
+func newPortsMetric(e *Engine) *portsMetric {
+	return &portsMetric{
+		cx:       &e.cx,
+		allowed:  map[uint16]uint64{},
+		censored: map[uint16]uint64{},
+	}
+}
+
+func (m *portsMetric) Name() string { return "ports" }
+
+func (m *portsMetric) Observe(rec *logfmt.Record) {
+	switch {
+	case m.cx.proxied:
+	case m.cx.censored:
+		m.censored[rec.Port]++
+	case m.cx.allowed:
+		m.allowed[rec.Port]++
+	}
+}
+
+func (m *portsMetric) Merge(other Metric) {
+	o := other.(*portsMetric)
+	mergeU16(m.allowed, o.allowed)
+	mergeU16(m.censored, o.censored)
+}

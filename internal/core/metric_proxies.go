@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+
+	"syriafilter/internal/logfmt"
+)
+
+// proxiesMetric accumulates the per-proxy (SG-42..48) load, censored
+// volume, censored-domain profiles and default category labels: Table 6
+// and Figure 7.
+type proxiesMetric struct {
+	cx           *recordCtx
+	total        [logfmt.NumProxies]uint64
+	censored     [logfmt.NumProxies]uint64
+	slotTotal    [logfmt.NumProxies]map[int64]uint64
+	slotCensored [logfmt.NumProxies]map[int64]uint64
+	censDomains  [logfmt.NumProxies]map[string]uint64
+	labels       [logfmt.NumProxies]map[string]uint64 // default category label sightings
+}
+
+func newProxiesMetric(e *Engine) *proxiesMetric {
+	m := &proxiesMetric{cx: &e.cx}
+	for i := 0; i < logfmt.NumProxies; i++ {
+		m.slotTotal[i] = map[int64]uint64{}
+		m.slotCensored[i] = map[int64]uint64{}
+		m.censDomains[i] = map[string]uint64{}
+		m.labels[i] = map[string]uint64{}
+	}
+	return m
+}
+
+func (m *proxiesMetric) Name() string { return "proxies" }
+
+func (m *proxiesMetric) Observe(rec *logfmt.Record) {
+	sg := rec.Proxy()
+	if sg < logfmt.FirstProxy || sg > logfmt.LastProxy {
+		return
+	}
+	pi := sg - logfmt.FirstProxy
+	m.total[pi]++
+	m.slotTotal[pi][m.cx.slot]++
+	if m.cx.censored {
+		m.censored[pi]++
+		m.slotCensored[pi][m.cx.slot]++
+		m.censDomains[pi][m.cx.Domain()]++
+	}
+	if rec.Categories != "" && !strings.Contains(rec.Categories, "Blocked") {
+		m.labels[pi][rec.Categories]++
+	}
+}
+
+func (m *proxiesMetric) Merge(other Metric) {
+	o := other.(*proxiesMetric)
+	for i := 0; i < logfmt.NumProxies; i++ {
+		m.total[i] += o.total[i]
+		m.censored[i] += o.censored[i]
+		mergeI64(m.slotTotal[i], o.slotTotal[i])
+		mergeI64(m.slotCensored[i], o.slotCensored[i])
+		mergeStr(m.censDomains[i], o.censDomains[i])
+		mergeStr(m.labels[i], o.labels[i])
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+)
+
+// redirectsMetric accumulates the policy_redirect host counts of Table 7.
+type redirectsMetric struct {
+	hosts *stats.Counter
+}
+
+func newRedirectsMetric(*Engine) *redirectsMetric {
+	return &redirectsMetric{hosts: stats.NewCounter()}
+}
+
+func (m *redirectsMetric) Name() string { return "redirects" }
+
+func (m *redirectsMetric) Observe(rec *logfmt.Record) {
+	if rec.Exception == logfmt.ExPolicyRedirect {
+		m.hosts.Add(rec.Host)
+	}
+}
+
+func (m *redirectsMetric) Merge(other Metric) {
+	m.hosts.Merge(other.(*redirectsMetric).hosts)
+}

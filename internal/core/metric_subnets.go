@@ -1,0 +1,67 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// subnetsMetric accumulates per-subnet request and distinct-IP counts over
+// the Israeli address ranges (Table 12).
+type subnetsMetric struct {
+	cx      *recordCtx
+	opt     *Options
+	subnets map[string]*subnetStat
+}
+
+func newSubnetsMetric(e *Engine) *subnetsMetric {
+	return &subnetsMetric{cx: &e.cx, opt: &e.opt, subnets: map[string]*subnetStat{}}
+}
+
+func (m *subnetsMetric) Name() string { return "subnets" }
+
+func (m *subnetsMetric) Observe(rec *logfmt.Record) {
+	ip, isIP := m.cx.IPv4()
+	if !isIP {
+		return
+	}
+	r, ok := m.opt.GeoDB.Lookup(ip)
+	if !ok || r.Country != "IL" {
+		return
+	}
+	st := m.subnets[r.Subnet]
+	if st == nil {
+		st = newSubnetStat()
+		m.subnets[r.Subnet] = st
+	}
+	switch {
+	case m.cx.proxied:
+		st.Proxied++
+		st.ProxIPs[ip] = struct{}{}
+	case m.cx.censored:
+		st.Censored++
+		st.CensoredIPs[ip] = struct{}{}
+	case m.cx.allowed:
+		st.Allowed++
+		st.AllowedIPs[ip] = struct{}{}
+	}
+}
+
+func (m *subnetsMetric) Merge(other Metric) {
+	o := other.(*subnetsMetric)
+	for k, v := range o.subnets {
+		st := m.subnets[k]
+		if st == nil {
+			st = newSubnetStat()
+			m.subnets[k] = st
+		}
+		st.Censored += v.Censored
+		st.Allowed += v.Allowed
+		st.Proxied += v.Proxied
+		for ip := range v.CensoredIPs {
+			st.CensoredIPs[ip] = struct{}{}
+		}
+		for ip := range v.AllowedIPs {
+			st.AllowedIPs[ip] = struct{}{}
+		}
+		for ip := range v.ProxIPs {
+			st.ProxIPs[ip] = struct{}{}
+		}
+	}
+}

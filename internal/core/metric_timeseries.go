@@ -1,0 +1,56 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// timeseriesMetric accumulates the 5-minute allowed/censored series of
+// Figures 5 and 6 plus the per-hour censored-domain counts behind
+// Table 5's peak-window breakdown.
+type timeseriesMetric struct {
+	cx           *recordCtx
+	slotAllowed  map[int64]uint64
+	slotCensored map[int64]uint64
+	// censHourDomains maps hour -> censored domain -> count.
+	censHourDomains map[int64]map[string]uint64
+}
+
+func newTimeseriesMetric(e *Engine) *timeseriesMetric {
+	return &timeseriesMetric{
+		cx:              &e.cx,
+		slotAllowed:     map[int64]uint64{},
+		slotCensored:    map[int64]uint64{},
+		censHourDomains: map[int64]map[string]uint64{},
+	}
+}
+
+func (m *timeseriesMetric) Name() string { return "timeseries" }
+
+func (m *timeseriesMetric) Observe(rec *logfmt.Record) {
+	switch {
+	case m.cx.proxied:
+	case m.cx.censored:
+		m.slotCensored[m.cx.slot]++
+		hour := rec.Time / 3600
+		hd := m.censHourDomains[hour]
+		if hd == nil {
+			hd = map[string]uint64{}
+			m.censHourDomains[hour] = hd
+		}
+		hd[m.cx.Domain()]++
+	case m.cx.allowed:
+		m.slotAllowed[m.cx.slot]++
+	}
+}
+
+func (m *timeseriesMetric) Merge(other Metric) {
+	o := other.(*timeseriesMetric)
+	mergeI64(m.slotAllowed, o.slotAllowed)
+	mergeI64(m.slotCensored, o.slotCensored)
+	for hour, hd := range o.censHourDomains {
+		mine := m.censHourDomains[hour]
+		if mine == nil {
+			mine = map[string]uint64{}
+			m.censHourDomains[hour] = mine
+		}
+		mergeStr(mine, hd)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/stats"
+)
+
+// cappedCounter bounds a token vocabulary: once max distinct keys exist,
+// only already-seen keys keep counting. max <= 0 means unbounded.
+type cappedCounter struct {
+	counter *stats.Counter
+	max     int
+}
+
+func newCappedCounter(max int) *cappedCounter {
+	return &cappedCounter{counter: stats.NewCounter(), max: max}
+}
+
+func (c *cappedCounter) add(tok string) {
+	if c.max > 0 && c.counter.Len() >= c.max && c.counter.Count(tok) == 0 {
+		return
+	}
+	c.counter.Add(tok)
+}
+
+// tokensMetric accumulates the §5.4 keyword-discovery inputs: the
+// allowed-URL and proxied-URL token vocabularies and the stored censored
+// URLs. Tables 8–10 combine it with the domains module.
+type tokensMetric struct {
+	cx  *recordCtx
+	opt *Options
+
+	allowed      *cappedCounter
+	proxied      *cappedCounter
+	censoredURLs []censoredURL
+}
+
+func newTokensMetric(e *Engine) *tokensMetric {
+	return &tokensMetric{
+		cx:      &e.cx,
+		opt:     &e.opt,
+		allowed: newCappedCounter(e.opt.MaxTokenEntries),
+		proxied: newCappedCounter(0),
+	}
+}
+
+func (m *tokensMetric) Name() string { return "tokens" }
+
+func (m *tokensMetric) Observe(rec *logfmt.Record) {
+	if m.cx.allowed && !m.cx.proxied {
+		tokenizeRecord(rec, m.allowed.add)
+	}
+	if m.cx.proxied {
+		tokenizeRecord(rec, m.proxied.add)
+	}
+	if rec.Exception == logfmt.ExPolicyDenied && len(m.censoredURLs) < m.opt.MaxStoredCensoredURLs {
+		m.censoredURLs = append(m.censoredURLs, censoredURL{
+			Domain: m.cx.Domain(), URL: rec.URL(), Host: rec.Host,
+		})
+	}
+}
+
+func (m *tokensMetric) Merge(other Metric) {
+	o := other.(*tokensMetric)
+	m.allowed.counter.Merge(o.allowed.counter)
+	m.proxied.counter.Merge(o.proxied.counter)
+	m.censoredURLs = append(m.censoredURLs, o.censoredURLs...)
+	if len(m.censoredURLs) > m.opt.MaxStoredCensoredURLs {
+		m.censoredURLs = m.censoredURLs[:m.opt.MaxStoredCensoredURLs]
+	}
+}

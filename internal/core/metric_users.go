@@ -1,0 +1,45 @@
+package core
+
+import "syriafilter/internal/logfmt"
+
+// usersMetric accumulates per-user totals over the Duser window: Figure 4
+// and the §4 headline user numbers.
+type usersMetric struct {
+	cx    *recordCtx
+	users map[string]*userStat
+}
+
+func newUsersMetric(e *Engine) *usersMetric {
+	return &usersMetric{cx: &e.cx, users: map[string]*userStat{}}
+}
+
+func (m *usersMetric) Name() string { return "users" }
+
+func (m *usersMetric) Observe(rec *logfmt.Record) {
+	key := m.cx.UserKey()
+	if key == "" {
+		return
+	}
+	us := m.users[key]
+	if us == nil {
+		us = &userStat{}
+		m.users[key] = us
+	}
+	us.Total++
+	if m.cx.censored {
+		us.Censored++
+	}
+}
+
+func (m *usersMetric) Merge(other Metric) {
+	o := other.(*usersMetric)
+	for k, v := range o.users {
+		if mine, ok := m.users[k]; ok {
+			mine.Total += v.Total
+			mine.Censored += v.Censored
+		} else {
+			cp := *v
+			m.users[k] = &cp
+		}
+	}
+}

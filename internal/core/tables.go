@@ -10,6 +10,11 @@ import (
 	"syriafilter/internal/urlx"
 )
 
+// The result functions live on Engine so both full Analyzers and subset
+// engines share them. Each reads only the modules its experiment id
+// declares in experimentModules; asking an engine built without those
+// modules panics with a message naming the missing module.
+
 // --- Table 1 / Table 3 ---
 
 // DatasetInfo is one Table 1 row.
@@ -19,19 +24,20 @@ type DatasetInfo struct {
 }
 
 // Table1 returns the dataset sizes.
-func (a *Analyzer) Table1() []DatasetInfo {
+func (e *Engine) Table1() []DatasetInfo {
+	m := e.mDatasets("Table1")
 	out := make([]DatasetInfo, 0, int(numDatasets))
 	for id := DFull; id < numDatasets; id++ {
-		out = append(out, DatasetInfo{ID: id, Requests: a.datasets[id].Total})
+		out = append(out, DatasetInfo{ID: id, Requests: m.datasets[id].Total})
 	}
 	return out
 }
 
 // Table3 returns the class × exception counts for every dataset.
-func (a *Analyzer) Table3() [4]ClassCounts { return a.datasets }
+func (e *Engine) Table3() [4]ClassCounts { return e.mDatasets("Table3").datasets }
 
 // Dataset returns one dataset's counts.
-func (a *Analyzer) Dataset(id DatasetID) ClassCounts { return a.datasets[id] }
+func (e *Engine) Dataset(id DatasetID) ClassCounts { return e.mDatasets("Dataset").datasets[id] }
 
 // --- Table 4 ---
 
@@ -53,8 +59,9 @@ func sharesOf(c *stats.Counter, k int) []DomainShare {
 }
 
 // TopDomains returns Table 4: the top-k allowed and censored domains.
-func (a *Analyzer) TopDomains(k int) (allowed, censored []DomainShare) {
-	return sharesOf(a.domAllowed, k), sharesOf(a.domCensored, k)
+func (e *Engine) TopDomains(k int) (allowed, censored []DomainShare) {
+	m := e.mDomains("TopDomains")
+	return sharesOf(m.allowed, k), sharesOf(m.censored, k)
 }
 
 // --- Table 5 ---
@@ -68,7 +75,8 @@ type Table5Window struct {
 // Table5 reports the top-k censored domains per window; windows are
 // [from, from+width), stepped across [from, to). The paper uses Aug 3,
 // 6:00–12:00 in 2-hour windows.
-func (a *Analyzer) Table5(fromUnix, toUnix, widthSec int64, k int) []Table5Window {
+func (e *Engine) Table5(fromUnix, toUnix, widthSec int64, k int) []Table5Window {
+	m := e.mTimeseries("Table5")
 	var out []Table5Window
 	for start := fromUnix; start < toUnix; start += widthSec {
 		end := start + widthSec
@@ -77,7 +85,7 @@ func (a *Analyzer) Table5(fromUnix, toUnix, widthSec int64, k int) []Table5Windo
 			if hour*3600 < start {
 				continue
 			}
-			for dom, n := range a.censHourDomains[hour] {
+			for dom, n := range m.censHourDomains[hour] {
 				counts.AddN(dom, n)
 			}
 		}
@@ -90,19 +98,20 @@ func (a *Analyzer) Table5(fromUnix, toUnix, widthSec int64, k int) []Table5Windo
 
 // ProxySimilarity returns the 7×7 cosine-similarity matrix of censored
 // domain profiles (Table 6), indexed by SG-42..48 order.
-func (a *Analyzer) ProxySimilarity() [][]float64 {
-	profiles := make([]map[string]uint64, len(a.proxyCensDomains))
-	for i := range a.proxyCensDomains {
-		profiles[i] = a.proxyCensDomains[i]
+func (e *Engine) ProxySimilarity() [][]float64 {
+	m := e.mProxies("ProxySimilarity")
+	profiles := make([]map[string]uint64, len(m.censDomains))
+	for i := range m.censDomains {
+		profiles[i] = m.censDomains[i]
 	}
 	return stats.SimilarityMatrix(profiles)
 }
 
 // ProxyCategoryLabels reports which default cs-categories label each proxy
 // stamps (§5.2: "none" on SG-43/48, "unavailable" elsewhere).
-func (a *Analyzer) ProxyCategoryLabels() [7]string {
+func (e *Engine) ProxyCategoryLabels() [7]string {
 	var out [7]string
-	for i, m := range a.proxyLabels {
+	for i, m := range e.mProxies("ProxyCategoryLabels").labels {
 		best, bestN := "", uint64(0)
 		for label, n := range m {
 			if n > bestN {
@@ -117,8 +126,8 @@ func (a *Analyzer) ProxyCategoryLabels() [7]string {
 // --- Table 7 ---
 
 // RedirectHosts returns the top-k policy_redirect hosts.
-func (a *Analyzer) RedirectHosts(k int) []DomainShare {
-	return sharesOf(a.redirectHosts, k)
+func (e *Engine) RedirectHosts(k int) []DomainShare {
+	return sharesOf(e.mRedirects("RedirectHosts").hosts, k)
 }
 
 // --- Tables 8 and 10: the §5.4 discovery algorithm ---
@@ -162,7 +171,9 @@ type Discovery struct {
 // Keyword candidates must additionally hit at least three distinct
 // registered domains: keyword rules are cross-domain by nature, while a
 // token seen on one domain only is better explained by a URL rule.
-func (a *Analyzer) DiscoverFilters(minCount uint64) Discovery {
+func (e *Engine) DiscoverFilters(minCount uint64) Discovery {
+	dm := e.mDomains("DiscoverFilters")
+	tm := e.mTokens("DiscoverFilters")
 	if minCount == 0 {
 		minCount = 3
 	}
@@ -172,8 +183,8 @@ func (a *Analyzer) DiscoverFilters(minCount uint64) Discovery {
 	// Phase 0: TLD collapse. A TLD with censored traffic and no allowed
 	// traffic anywhere is one blanket rule (the paper's ".il").
 	blockedTLDs := make(map[string]bool)
-	a.tldCensored.Each(func(tld string, n uint64) {
-		if tld != "" && n >= minCount && a.tldAllowed.Count(tld) == 0 {
+	dm.tldCensored.Each(func(tld string, n uint64) {
+		if tld != "" && n >= minCount && dm.tldAllowed.Count(tld) == 0 {
 			blockedTLDs[tld] = true
 			d.Domains = append(d.Domains, SuspectedDomain{Domain: "." + tld, Censored: n})
 		}
@@ -193,7 +204,7 @@ func (a *Analyzer) DiscoverFilters(minCount uint64) Discovery {
 		tokens []string
 	}
 	var residue []residueEntry
-	for _, cu := range a.censoredURLs {
+	for _, cu := range tm.censoredURLs {
 		if blockedTLDs[urlx.TLD(cu.Host)] || urlx.IsIPv4(cu.Host) {
 			continue
 		}
@@ -226,7 +237,7 @@ func (a *Analyzer) DiscoverFilters(minCount uint64) Discovery {
 		best := ""
 		var bestN uint64
 		counts.Each(func(tok string, n uint64) {
-			if n < minCount || a.tokAllowed.Count(tok) != 0 {
+			if n < minCount || tm.allowed.counter.Count(tok) != 0 {
 				return
 			}
 			if len(domainsOf[tok]) < minSpread {
@@ -242,7 +253,7 @@ func (a *Analyzer) DiscoverFilters(minCount uint64) Discovery {
 		d.Keywords = append(d.Keywords, Keyword{
 			Keyword:  best,
 			Censored: bestN,
-			Proxied:  a.tokProxied.Count(best),
+			Proxied:  tm.proxied.counter.Count(best),
 		})
 		keep := residue[:0]
 		for _, re := range residue {
@@ -265,26 +276,26 @@ func (a *Analyzer) DiscoverFilters(minCount uint64) Discovery {
 	}
 	suspected := make(map[string]bool)
 	domCounts.Each(func(dom string, n uint64) {
-		if n < minCount || a.domAllowed.Count(dom) != 0 {
+		if n < minCount || dm.allowed.Count(dom) != 0 {
 			return
 		}
 		suspected[dom] = true
 		d.Domains = append(d.Domains, SuspectedDomain{
 			Domain:   dom,
-			Censored: a.domCensoredDeny.Count(dom),
-			Proxied:  a.domProxied.Count(dom),
+			Censored: dm.censoredDeny.Count(dom),
+			Proxied:  dm.proxied.Count(dom),
 		})
 	})
 	hostCounts.Each(func(host string, n uint64) {
 		if n < minCount || suspected[urlx.RegisteredDomain(host)] {
 			return
 		}
-		if a.hostAllowed.Count(host) != 0 {
+		if dm.hostAllowed.Count(host) != 0 {
 			return
 		}
 		d.Domains = append(d.Domains, SuspectedDomain{
 			Domain:   host,
-			Censored: a.hostCensoredDeny.Count(host),
+			Censored: dm.hostCensoredDeny.Count(host),
 		})
 	})
 	sort.Slice(d.Domains, func(i, j int) bool {
@@ -322,10 +333,10 @@ type CategoryDomains struct {
 }
 
 // Table9 categorizes the suspected (URL-blacklisted) domains.
-func (a *Analyzer) Table9(d Discovery) []CategoryDomains {
+func (e *Engine) Table9(d Discovery) []CategoryDomains {
 	agg := map[string]*CategoryDomains{}
 	for _, sd := range d.Domains {
-		cat := string(a.opt.Categories.Classify(strings.TrimPrefix(sd.Domain, ".")))
+		cat := string(e.opt.Categories.Classify(strings.TrimPrefix(sd.Domain, ".")))
 		if strings.HasPrefix(sd.Domain, ".") {
 			cat = string(categorydb.CatNA) // a whole TLD has no single category
 		}
@@ -362,12 +373,13 @@ type CountryRatio struct {
 
 // CountryRatios computes per-country censorship ratios over IP-literal
 // destinations, descending by ratio.
-func (a *Analyzer) CountryRatios() []CountryRatio {
+func (e *Engine) CountryRatios() []CountryRatio {
+	m := e.mCountries("CountryRatios")
 	all := map[string]*CountryRatio{}
-	a.countryCensored.Each(func(c string, n uint64) {
+	m.censored.Each(func(c string, n uint64) {
 		all[c] = &CountryRatio{Country: c, Censored: n}
 	})
-	a.countryAllowed.Each(func(c string, n uint64) {
+	m.allowed.Each(func(c string, n uint64) {
 		row := all[c]
 		if row == nil {
 			row = &CountryRatio{Country: c}
@@ -403,9 +415,10 @@ type SubnetStat struct {
 
 // IsraeliSubnets reports per-subnet censorship over the Israeli address
 // ranges, descending by censored requests.
-func (a *Analyzer) IsraeliSubnets() []SubnetStat {
-	out := make([]SubnetStat, 0, len(a.subnets))
-	for subnet, st := range a.subnets {
+func (e *Engine) IsraeliSubnets() []SubnetStat {
+	m := e.mSubnets("IsraeliSubnets")
+	out := make([]SubnetStat, 0, len(m.subnets))
+	for subnet, st := range m.subnets {
 		out = append(out, SubnetStat{
 			Subnet:       subnet,
 			CensoredReqs: st.Censored, CensoredIPs: uint64(len(st.CensoredIPs)),
@@ -439,9 +452,10 @@ type OSNStat struct {
 
 // SocialNetworks reports censorship across the §6 watchlist, descending
 // by censored count.
-func (a *Analyzer) SocialNetworks() []OSNStat {
-	out := make([]OSNStat, 0, len(a.osn))
-	for dom, ts := range a.osn {
+func (e *Engine) SocialNetworks() []OSNStat {
+	m := e.mOSN("SocialNetworks")
+	out := make([]OSNStat, 0, len(m.osn))
+	for dom, ts := range m.osn {
 		out = append(out, OSNStat{Domain: dom, Censored: ts.Censored, Allowed: ts.Allowed, Proxied: ts.Proxied})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -463,9 +477,10 @@ type FBPage struct {
 
 // FacebookPages lists the custom-category ("Blocked sites") Facebook
 // pages, descending by censored count.
-func (a *Analyzer) FacebookPages() []FBPage {
+func (e *Engine) FacebookPages() []FBPage {
+	m := e.mFacebook("FacebookPages")
 	out := []FBPage{}
-	for path, ps := range a.fbPages {
+	for path, ps := range m.pages {
 		if !ps.CustomCategory {
 			continue
 		}
@@ -495,16 +510,17 @@ type PluginStat struct {
 }
 
 // SocialPlugins reports the top-k censored facebook.com platform elements.
-func (a *Analyzer) SocialPlugins(k int) []PluginStat {
+func (e *Engine) SocialPlugins(k int) []PluginStat {
+	m := e.mFacebook("SocialPlugins")
 	out := []PluginStat{}
-	for path, ts := range a.fbPaths {
+	for path, ts := range m.paths {
 		if ts.Censored == 0 {
 			continue
 		}
 		out = append(out, PluginStat{
 			Path:     path,
 			Censored: ts.Censored, Allowed: ts.Allowed, Proxied: ts.Proxied,
-			ShareOfFBCensored: frac(ts.Censored, a.fbCens),
+			ShareOfFBCensored: frac(ts.Censored, m.cens),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

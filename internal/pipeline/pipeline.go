@@ -1,8 +1,15 @@
-// Package pipeline runs record analyses concurrently: a source of log
-// records is fanned out to worker goroutines, each folding into its own
-// accumulator, and the per-worker accumulators are merged at the end.
-// Every accumulator in internal/stats and the core Analyzer support Merge,
-// so any analysis composes with this scheme.
+// Package pipeline runs record analyses concurrently: one or more sources
+// of log records are fanned out to worker goroutines, each folding into
+// its own accumulator, and the per-worker accumulators are merged at the
+// end. Every accumulator in internal/stats and the core Engine/Analyzer
+// support Merge, so any analysis composes with this scheme.
+//
+// Two ingestion layers are provided. Run drains a single Scanner from the
+// calling goroutine. RunScanners adds per-file fan-out: one scanner
+// goroutine per source feeds the shared worker pool, so a multi-file
+// corpus is decoded in parallel instead of serially through a
+// MultiScanner. Both recycle batch buffers through a sync.Pool, keeping
+// steady-state allocation per batch near zero.
 //
 // The design follows the same reasoning as gopacket's FastHash fan-out:
 // batches keep channel overhead amortized, and per-worker state avoids
@@ -11,6 +18,7 @@ package pipeline
 
 import (
 	"errors"
+	"os"
 	"runtime"
 	"sync"
 
@@ -18,7 +26,7 @@ import (
 )
 
 // Scanner yields records. logfmt.Reader satisfies it; SliceScanner and
-// MultiReader adapt in-memory corpora and file sets.
+// MultiScanner adapt in-memory corpora and file sets.
 type Scanner interface {
 	// Next returns the next record, or ok=false at the end of the stream.
 	// The returned pointer may be reused between calls.
@@ -30,13 +38,29 @@ type Scanner interface {
 // BatchSize is the number of records per work unit.
 const BatchSize = 1024
 
+// batchPool recycles batch buffers between scanners and workers, so a
+// steady-state run allocates no new batch arrays after warm-up.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]logfmt.Record, 0, BatchSize)
+		return &b
+	},
+}
+
+func getBatch() *[]logfmt.Record {
+	b := batchPool.Get().(*[]logfmt.Record)
+	*b = (*b)[:0]
+	return b
+}
+
 // Run scans src with n workers. Each worker owns an accumulator from
 // newAcc and folds records with observe; merge folds worker accumulators
 // into the first one, which is returned. n <= 0 uses GOMAXPROCS.
 //
-// Records handed to observe are private copies: they remain valid after
-// observe returns, but sharing them across batches is the caller's
-// business.
+// Records handed to observe are private copies, but their backing batch
+// is recycled: they are only valid for the duration of the observe call.
+// Accumulators that outlive the call must copy what they keep (retaining
+// field strings is fine — strings are immutable).
 func Run[A any](src Scanner, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -53,46 +77,154 @@ func Run[A any](src Scanner, n int, newAcc func() A, observe func(A, *logfmt.Rec
 		return acc, src.Err()
 	}
 
-	batches := make(chan []logfmt.Record, n*2)
-	accs := make([]A, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			acc := newAcc()
-			for batch := range batches {
-				for j := range batch {
-					observe(acc, &batch[j])
-				}
-			}
-			accs[i] = acc
-		}(i)
-	}
+	batches := make(chan *[]logfmt.Record, n*2)
+	accs := startWorkers(batches, n, newAcc, observe)
 
-	batch := make([]logfmt.Record, 0, BatchSize)
+	batch := getBatch()
 	for {
 		rec, ok := src.Next()
 		if !ok {
 			break
 		}
-		batch = append(batch, *rec)
-		if len(batch) == BatchSize {
+		*batch = append(*batch, *rec)
+		if len(*batch) == BatchSize {
 			batches <- batch
-			batch = make([]logfmt.Record, 0, BatchSize)
+			batch = getBatch()
 		}
 	}
-	if len(batch) > 0 {
+	if len(*batch) > 0 {
 		batches <- batch
+	} else {
+		batchPool.Put(batch)
 	}
 	close(batches)
-	wg.Wait()
 
-	out := accs[0]
-	for i := 1; i < n; i++ {
-		merge(out, accs[i])
+	return drainWorkers(accs, merge), src.Err()
+}
+
+// RunScanners scans every source concurrently — one scanner goroutine per
+// source, all feeding the same n-worker pool — and merges the per-worker
+// accumulators. This is the multi-file ingestion layer: for a corpus
+// split across per-proxy log files it decodes the files in parallel,
+// instead of serially like NewMultiScanner. n <= 0 uses GOMAXPROCS.
+//
+// Results are deterministic regardless of n or scanner interleaving for
+// commutative accumulators. All of internal/core's are, with one caveat:
+// its capped stores (Options.MaxStoredCensoredURLs, MaxTokenEntries)
+// admit entries in observation order, so determinism holds only while a
+// corpus stays under those caps — past them, use Run with a MultiScanner
+// and n=1 for a strictly ordered scan. The returned error is the first
+// failing scanner's, in srcs order.
+func RunScanners[A any](srcs []Scanner, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return out, src.Err()
+	if len(srcs) == 1 {
+		return Run(srcs[0], n, newAcc, observe, merge)
+	}
+	if len(srcs) == 0 {
+		return newAcc(), nil
+	}
+
+	batches := make(chan *[]logfmt.Record, n*2)
+	accs := startWorkers(batches, n, newAcc, observe)
+
+	errs := make([]error, len(srcs))
+	var scanWG sync.WaitGroup
+	for i, src := range srcs {
+		scanWG.Add(1)
+		go func(i int, src Scanner) {
+			defer scanWG.Done()
+			batch := getBatch()
+			for {
+				rec, ok := src.Next()
+				if !ok {
+					break
+				}
+				*batch = append(*batch, *rec)
+				if len(*batch) == BatchSize {
+					batches <- batch
+					batch = getBatch()
+				}
+			}
+			if len(*batch) > 0 {
+				batches <- batch
+			} else {
+				batchPool.Put(batch)
+			}
+			errs[i] = src.Err()
+		}(i, src)
+	}
+	scanWG.Wait()
+	close(batches)
+
+	out := drainWorkers(accs, merge)
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RunFiles opens each path and runs RunScanners with one logfmt.Reader
+// per file.
+func RunFiles[A any](paths []string, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, error) {
+	files := make([]*os.File, 0, len(paths))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	srcs := make([]Scanner, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			var zero A
+			return zero, err
+		}
+		files = append(files, f)
+		srcs = append(srcs, logfmt.NewReader(f))
+	}
+	return RunScanners(srcs, n, newAcc, observe, merge)
+}
+
+// startWorkers launches n workers consuming batches; each returns its
+// accumulator through the result slice filled when the channel closes.
+func startWorkers[A any](batches <-chan *[]logfmt.Record, n int, newAcc func() A, observe func(A, *logfmt.Record)) *workerSet[A] {
+	ws := &workerSet[A]{accs: make([]A, n)}
+	for i := 0; i < n; i++ {
+		ws.wg.Add(1)
+		go func(i int) {
+			defer ws.wg.Done()
+			acc := newAcc()
+			for batch := range batches {
+				recs := *batch
+				for j := range recs {
+					observe(acc, &recs[j])
+				}
+				batchPool.Put(batch)
+			}
+			ws.accs[i] = acc
+		}(i)
+	}
+	return ws
+}
+
+type workerSet[A any] struct {
+	wg   sync.WaitGroup
+	accs []A
+}
+
+// drainWorkers waits for the workers and folds their accumulators into
+// the first one, in worker order.
+func drainWorkers[A any](ws *workerSet[A], merge func(dst, src A)) A {
+	ws.wg.Wait()
+	out := ws.accs[0]
+	for i := 1; i < len(ws.accs); i++ {
+		merge(out, ws.accs[i])
+	}
+	return out
 }
 
 // SliceScanner adapts an in-memory record slice.
@@ -139,8 +271,10 @@ func (s *FuncScanner) Next() (*logfmt.Record, bool) { return s.fn() }
 // Err implements Scanner.
 func (s *FuncScanner) Err() error { return s.err }
 
-// MultiScanner chains several scanners, e.g. one logfmt.Reader per proxy
-// log file.
+// MultiScanner chains several scanners serially, e.g. one logfmt.Reader
+// per proxy log file. Prefer RunScanners for parallel multi-file
+// ingestion; MultiScanner remains for strict-order single-goroutine
+// scans.
 type MultiScanner struct {
 	scanners []Scanner
 	i        int

@@ -2,6 +2,9 @@ package pipeline
 
 import (
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -211,6 +214,122 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(NewSliceScanner(recs), 0, newCountAcc, observeCount, mergeCount); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func splitRecords(recs []logfmt.Record, parts int) []Scanner {
+	srcs := make([]Scanner, 0, parts)
+	per := (len(recs) + parts - 1) / parts
+	for i := 0; i < len(recs); i += per {
+		end := i + per
+		if end > len(recs) {
+			end = len(recs)
+		}
+		srcs = append(srcs, NewSliceScanner(recs[i:end]))
+	}
+	return srcs
+}
+
+func TestRunScannersMatchesRun(t *testing.T) {
+	recs := makeRecords(20000)
+	want, err := Run(NewSliceScanner(recs), 1, newCountAcc, observeCount, mergeCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, parts := range []int{1, 3, 7} {
+			got, err := RunScanners(splitRecords(recs, parts), workers, newCountAcc, observeCount, mergeCount)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.total != want.total || got.censored != want.censored {
+				t.Fatalf("workers=%d parts=%d: totals %d/%d vs %d/%d",
+					workers, parts, got.total, got.censored, want.total, want.censored)
+			}
+			for k, v := range want.hosts {
+				if got.hosts[k] != v {
+					t.Fatalf("workers=%d parts=%d: host %s = %d, want %d",
+						workers, parts, k, got.hosts[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunScannersEmpty(t *testing.T) {
+	acc, err := RunScanners(nil, 4, newCountAcc, observeCount, mergeCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.total != 0 {
+		t.Errorf("total = %d", acc.total)
+	}
+}
+
+func TestRunScannersPropagatesError(t *testing.T) {
+	wantErr := errors.New("boom")
+	srcs := []Scanner{
+		NewSliceScanner(makeRecords(2000)),
+		&errScanner{err: wantErr},
+		NewSliceScanner(makeRecords(1000)),
+	}
+	acc, err := RunScanners(srcs, 2, newCountAcc, observeCount, mergeCount)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// Healthy scanners are still fully consumed.
+	if acc.total != 3000 {
+		t.Errorf("total = %d", acc.total)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	recs := makeRecords(3000)
+	var paths []string
+	for part, src := range splitRecords(recs, 3) {
+		path := filepath.Join(dir, fmt.Sprintf("part-%d.csv", part))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := logfmt.NewWriter(f)
+		for {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	acc, err := RunFiles(paths, 4, newCountAcc, observeCount, mergeCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.total != 3000 {
+		t.Errorf("total = %d", acc.total)
+	}
+	if _, err := RunFiles([]string{filepath.Join(dir, "missing.csv")}, 2, newCountAcc, observeCount, mergeCount); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func BenchmarkPipelinePerFileFanout(b *testing.B) {
+	recs := makeRecords(100000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScanners(splitRecords(recs, 7), 0, newCountAcc, observeCount, mergeCount); err != nil {
 			b.Fatal(err)
 		}
 	}

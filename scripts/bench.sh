@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the per-table/per-figure benchmark suite (each artifact produced
+# end to end on its subset engine, plus the full-engine baseline) and
+# writes the results as JSON to BENCH_core.json, so the performance
+# trajectory is tracked across PRs.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+OUT=BENCH_core.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve' \
+  -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+# Convert `go test -bench` lines into a JSON array.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2; nsop = $3
+  bytes = "null"; allocs = "null"; mbs = "null"
+  for (i = 4; i <= NF; i++) {
+    if ($(i+1) == "MB/s")      mbs = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                 name, iters, nsop, mbs, bytes, allocs)
+  rows[n++] = line
+}
+END {
+  print "{"
+  printf "  \"date\": \"%s\",\n", date
+  printf "  \"benchtime\": \"'"$BENCHTIME"'\",\n"
+  print "  \"benchmarks\": ["
+  for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n-1 ? "," : "")
+  print "  ]"
+  print "}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
