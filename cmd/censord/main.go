@@ -1,0 +1,242 @@
+// Command censord is the live monitoring daemon: it continuously ingests
+// Blue Coat log records into a sharded metric-engine store and serves
+// every experiment of the paper's evaluation over HTTP, from immutable
+// point-in-time snapshots.
+//
+// Log sources: files given with -input are ingested at boot (one scanner
+// goroutine per file, gzip-transparent); a directory given with -watch
+// is polled for new files, which are ingested as they appear; and
+// POST /v1/ingest accepts log batches while serving.
+//
+// -seed and -requests must match the syngen invocation that produced the
+// corpus, because the category database, Tor consensus and ground-truth
+// ruleset are derived from them (exactly like cmd/censorlyzer).
+//
+// Usage:
+//
+//	censord -addr :8080 -input logs/sg-42.csv,logs/sg-43.csv.gz -seed 1
+//	censord -addr :8080 -watch spool/ -watch-every 5s -seed 1
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/tables/4
+//	curl localhost:8080/v1/figures/8?format=text
+//	curl -X POST --data-binary @more.csv localhost:8080/v1/ingest?refresh=1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"syriafilter/internal/bittorrent"
+	"syriafilter/internal/core"
+	"syriafilter/internal/pipeline"
+	"syriafilter/internal/serve"
+	"syriafilter/internal/synth"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		input      = flag.String("input", "", "comma-separated log files ingested at boot (gzip ok)")
+		watch      = flag.String("watch", "", "directory polled for new log files")
+		watchEvery = flag.Duration("watch-every", 5*time.Second, "watch poll interval")
+		seed       = flag.Uint64("seed", 1, "corpus seed (must match the generator that produced the logs)")
+		requests   = flag.Int("requests", 1_000_000, "corpus size the generator was run with (shapes the derived databases)")
+		exps       = flag.String("exp", "all", "comma-separated experiment ids to serve ('all' = every metric module)")
+		shards     = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS, capped at 16)")
+		snapEvery  = flag.Duration("snapshot-every", 2*time.Second, "background snapshot rebuild period (0 = only on demand)")
+	)
+	flag.Parse()
+
+	gen, err := synth.New(synth.Config{Seed: *seed, TotalRequests: *requests})
+	if err != nil {
+		fatal(err)
+	}
+
+	var metrics []string
+	if *exps != "all" {
+		var ids []string
+		for _, id := range strings.Split(*exps, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+		if metrics, err = core.ModulesFor(ids...); err != nil {
+			fatal(err)
+		}
+	}
+
+	store, err := serve.NewStore(serve.Config{
+		Options: core.Options{
+			Categories: gen.CategoryDB(),
+			Consensus:  gen.Consensus(),
+			TitleDB:    bittorrent.NewTitleDB(),
+		},
+		Metrics:       metrics,
+		Shards:        *shards,
+		SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	seen := map[string]bool{}
+	if *input != "" {
+		var paths []string
+		for _, path := range strings.Split(*input, ",") {
+			path = strings.TrimSpace(path)
+			paths = append(paths, path)
+			// Cleaned, so the watch loop (which joins dir + name) does not
+			// re-ingest a boot file spelled differently on the flag.
+			seen[filepath.Clean(path)] = true
+		}
+		n, err := ingestFiles(store, paths)
+		if err != nil {
+			fatal(err)
+		}
+		logf("ingested %d records from %d files", n, len(paths))
+	}
+	if _, err := store.Refresh(); err != nil {
+		fatal(err)
+	}
+
+	stopWatch := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if *watch != "" {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			watchLoop(store, *watch, *watchEvery, seen, stopWatch)
+		}()
+		logf("watching %s every %s", *watch, *watchEvery)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(store, gen)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logf("serving on %s (%d shards, snapshot every %s)", *addr, store.Stats().Shards, *snapEvery)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		logf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+	close(stopWatch)
+	watchWG.Wait()
+	store.Close()
+}
+
+// ingestFiles feeds the paths into the store, one scanner goroutine per
+// file (the store's shards parallelize the analysis side).
+func ingestFiles(store *serve.Store, paths []string) (uint64, error) {
+	srcs, closer, err := pipeline.OpenFiles(paths)
+	if err != nil {
+		return 0, err
+	}
+	defer closer.Close()
+	var (
+		wg    sync.WaitGroup
+		total uint64
+		mu    sync.Mutex
+		first error
+	)
+	for _, src := range srcs {
+		wg.Add(1)
+		go func(src pipeline.Scanner) {
+			defer wg.Done()
+			n, err := store.IngestScanner(src)
+			mu.Lock()
+			total += n
+			if err != nil && first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}(src)
+	}
+	wg.Wait()
+	return total, first
+}
+
+// watchLoop polls dir and ingests files it has not seen yet, refreshing
+// the snapshot after each round that ingested anything. A file is only
+// ingested once its size has held still for a full poll interval (a
+// producer may still be appending), and a failed ingest is retried on
+// later polls instead of being marked seen.
+func watchLoop(store *serve.Store, dir string, every time.Duration, seen map[string]bool, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	sizes := map[string]int64{} // last observed size of not-yet-ingested files
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			logf("watch: %v", err)
+			continue
+		}
+		ingested := false
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			path := filepath.Clean(filepath.Join(dir, e.Name()))
+			if seen[path] {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if last, ok := sizes[path]; !ok || last != info.Size() {
+				sizes[path] = info.Size() // first sighting or still growing
+				continue
+			}
+			n, err := ingestFiles(store, []string{path})
+			if err != nil {
+				logf("watch: %s: %v (will retry)", path, err)
+				delete(sizes, path) // restart the stability window
+				continue
+			}
+			seen[path] = true
+			delete(sizes, path)
+			logf("watch: ingested %d records from %s", n, path)
+			ingested = true
+		}
+		if ingested {
+			if _, err := store.Refresh(); err != nil {
+				logf("watch: snapshot: %v", err)
+			}
+		}
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "censord: %s %s\n",
+		time.Now().UTC().Format("15:04:05"), fmt.Sprintf(format, args...))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "censord:", err)
+	os.Exit(1)
+}

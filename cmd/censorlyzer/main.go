@@ -1,46 +1,53 @@
 // Command censorlyzer reproduces the paper's evaluation: it runs any (or
 // all) of the table/figure analyses over a Blue Coat log corpus and prints
-// paper-style output.
+// paper-style output (or, with -json, the same machine-readable documents
+// cmd/censord serves over HTTP).
 //
 // The corpus either comes from log files previously written by cmd/syngen
-// (-input, comma-separated paths) or is synthesized in memory (-requests).
-// Either way -seed must match the corpus seed, because the Tor consensus
-// and the category database are derived from it.
+// (-input, comma-separated paths, gzip-transparent) or is synthesized in
+// memory (-requests). Either way -seed must match the corpus seed, because
+// the Tor consensus and the category database are derived from it.
 //
 // Usage:
 //
 //	censorlyzer -requests 1000000 -seed 1 -exp all
-//	censorlyzer -input sg42.csv,sg43.csv -seed 1 -exp table4,fig8
+//	censorlyzer -input sg42.csv,sg43.csv.gz -seed 1 -exp table4,fig8
+//	censorlyzer -exp table4 -json
+//	censorlyzer -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
-	"time"
 
 	"syriafilter/internal/bittorrent"
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/pipeline"
-	"syriafilter/internal/policy"
-	"syriafilter/internal/prober"
 	"syriafilter/internal/proxysim"
-	"syriafilter/internal/report"
+	"syriafilter/internal/render"
 	"syriafilter/internal/synth"
 )
 
 func main() {
 	var (
-		input    = flag.String("input", "", "comma-separated log files (empty: synthesize in memory)")
+		input    = flag.String("input", "", "comma-separated log files (empty: synthesize in memory; gzip ok)")
 		requests = flag.Int("requests", 1_000_000, "synthetic corpus size")
 		seed     = flag.Uint64("seed", 1, "corpus seed (must match the generator that produced -input)")
 		exps     = flag.String("exp", "all", "comma-separated experiment ids (table1..table15, fig1..fig10, https, bt, gcache) or 'all'")
 		workers  = flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document per experiment (the cmd/censord wire format)")
+		list     = flag.Bool("list", false, "print the experiment ids and the metric modules each resolves to, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
 
 	selected := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
@@ -54,9 +61,9 @@ func main() {
 	var metrics []string
 	if !all {
 		var ids []string
-		for _, exp := range experiments {
-			if selected[exp.id] {
-				ids = append(ids, exp.id)
+		for _, id := range render.Order() {
+			if selected[id] {
+				ids = append(ids, id)
 			}
 		}
 		if len(ids) > 0 {
@@ -81,20 +88,45 @@ func main() {
 		fatal(err)
 	}
 
+	cx := render.Context{An: an, Gen: gen}
+	enc := json.NewEncoder(os.Stdout)
 	ran := 0
-	for _, exp := range experiments {
-		if all || selected[exp.id] {
-			fmt.Printf("\n### %s — %s\n\n", exp.id, exp.title)
-			exp.run(an, gen)
-			ran++
+	for _, id := range render.Order() {
+		if !all && !selected[id] {
+			continue
 		}
+		doc, err := render.Render(id, cx)
+		if err != nil {
+			fatal(err)
+		}
+		ran++
+		if *jsonOut {
+			// One document per line — the byte encoding cmd/censord's
+			// /v1/experiments/{id} endpoint serves.
+			if err := enc.Encode(doc); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		fmt.Printf("\n### %s — %s\n\n", id, doc.Title)
+		fmt.Print(doc.Text())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; known ids:\n", *exps)
-		for _, exp := range experiments {
-			fmt.Fprintf(os.Stderr, "  %-8s %s\n", exp.id, exp.title)
-		}
+		listExperiments(os.Stderr)
 		os.Exit(2)
+	}
+}
+
+// listExperiments prints every experiment id, its title, and the metric
+// modules it resolves to via core.ModulesFor.
+func listExperiments(w *os.File) {
+	for _, id := range render.Order() {
+		mods, err := core.ModulesFor(id)
+		if err != nil {
+			mods = []string{"?"}
+		}
+		fmt.Fprintf(w, "%-12s %-55s %s\n", id, render.Title(id), strings.Join(mods, ","))
 	}
 }
 
@@ -144,446 +176,4 @@ func analyze(gen *synth.Generator, input string, seed uint64, workers int, metri
 		func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) },
 		func(dst, src *core.Analyzer) { dst.Merge(src) },
 	)
-}
-
-type experiment struct {
-	id    string
-	title string
-	run   func(*core.Analyzer, *synth.Generator)
-}
-
-func aug(day, hour int) int64 {
-	return time.Date(2011, 8, day, hour, 0, 0, 0, time.UTC).Unix()
-}
-
-var experiments = []experiment{
-	{"table1", "Datasets description", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Table 1", "Dataset", "# Requests")
-		for _, d := range a.Table1() {
-			tbl.Row(d.ID.String(), d.Requests)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table3", "Decisions and exceptions per dataset", func(a *core.Analyzer, _ *synth.Generator) {
-		t3 := a.Table3()
-		tbl := report.NewTable("Table 3", "Exception", "Class", "Full", "%", "Sample", "User", "Denied")
-		full := t3[core.DFull]
-		for ex := 0; ex < logfmt.NumExceptions; ex++ {
-			e := logfmt.ExceptionID(ex)
-			tbl.Row(e.String(), e.Class().String(),
-				full.ByException[ex],
-				report.Percent(sfrac(full.ByException[ex], full.Total)),
-				t3[core.DSample].ByException[ex],
-				t3[core.DUser].ByException[ex],
-				t3[core.DDenied].ByException[ex])
-		}
-		tbl.Row("PROXIED (total)", "proxied", full.Proxied,
-			report.Percent(sfrac(full.Proxied, full.Total)),
-			t3[core.DSample].Proxied, t3[core.DUser].Proxied, t3[core.DDenied].Proxied)
-		fmt.Print(tbl)
-	}},
-	{"table4", "Top-10 domains (allowed and censored)", func(a *core.Analyzer, _ *synth.Generator) {
-		allowed, censored := a.TopDomains(10)
-		tbl := report.NewTable("Table 4", "Allowed domain", "# Req", "%", "", "Censored domain", "# Req", "%")
-		for i := 0; i < 10; i++ {
-			var row [8]interface{}
-			for j := range row {
-				row[j] = ""
-			}
-			if i < len(allowed) {
-				row[0], row[1], row[2] = allowed[i].Domain, allowed[i].Count, report.Percent(allowed[i].Share)
-			}
-			if i < len(censored) {
-				row[4], row[5], row[6] = censored[i].Domain, censored[i].Count, report.Percent(censored[i].Share)
-			}
-			tbl.Row(row[:7]...)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table5", "Top censored domains, Aug 3 6am-12pm", func(a *core.Analyzer, _ *synth.Generator) {
-		for _, win := range a.Table5(aug(3, 6), aug(3, 12), 2*3600, 10) {
-			from := time.Unix(win.FromUnix, 0).UTC().Format("15:04")
-			to := time.Unix(win.ToUnix, 0).UTC().Format("15:04")
-			tbl := report.NewTable(fmt.Sprintf("Table 5 window %s-%s", from, to), "Domain", "%")
-			for _, row := range win.Top {
-				tbl.Row(row.Domain, report.Percent(row.Share))
-			}
-			fmt.Print(tbl)
-			fmt.Println()
-		}
-	}},
-	{"table6", "Cosine similarity of censored domains across proxies", func(a *core.Analyzer, _ *synth.Generator) {
-		m := a.ProxySimilarity()
-		headers := []string{""}
-		for sg := 42; sg <= 48; sg++ {
-			headers = append(headers, fmt.Sprintf("SG-%d", sg))
-		}
-		tbl := report.NewTable("Table 6", headers...)
-		for i, row := range m {
-			cells := []interface{}{fmt.Sprintf("SG-%d", 42+i)}
-			for _, v := range row {
-				cells = append(cells, v)
-			}
-			tbl.Row(cells...)
-		}
-		fmt.Print(tbl)
-		labels := a.ProxyCategoryLabels()
-		fmt.Println("\nDefault cs-categories labels:")
-		for i, l := range labels {
-			fmt.Printf("  SG-%d: %q\n", 42+i, l)
-		}
-	}},
-	{"table7", "Top policy_redirect hosts", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Table 7", "cs_host", "# requests", "%")
-		for _, row := range a.RedirectHosts(5) {
-			tbl.Row(row.Domain, row.Count, report.Percent(row.Share))
-		}
-		fmt.Print(tbl)
-	}},
-	{"table8", "Suspected URL-censored domains", func(a *core.Analyzer, _ *synth.Generator) {
-		d := a.DiscoverFilters(0)
-		tbl := report.NewTable(fmt.Sprintf("Table 8 (all %d suspected; top 15 shown)", len(d.Domains)),
-			"Domain", "Censored", "Allowed", "Proxied")
-		for i, sd := range d.Domains {
-			if i >= 15 {
-				break
-			}
-			tbl.Row(sd.Domain, sd.Censored, sd.Allowed, sd.Proxied)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table9", "Censored domain categories", func(a *core.Analyzer, _ *synth.Generator) {
-		d := a.DiscoverFilters(0)
-		tbl := report.NewTable("Table 9", "Category", "# Domains", "Censored requests")
-		for _, row := range a.Table9(d) {
-			tbl.Row(row.Category, row.Domains, row.Requests)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table10", "Censored keywords", func(a *core.Analyzer, _ *synth.Generator) {
-		d := a.DiscoverFilters(0)
-		tbl := report.NewTable("Table 10", "Keyword", "Censored", "Allowed", "Proxied")
-		for _, kw := range d.Keywords {
-			tbl.Row(kw.Keyword, kw.Censored, kw.Allowed, kw.Proxied)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table11", "Censorship ratio per country (IP-literal hosts)", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Table 11", "Country", "Ratio", "# Censored", "# Allowed")
-		for _, row := range a.CountryRatios() {
-			tbl.Row(row.Country, report.Percent(row.Ratio), row.Censored, row.Allowed)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table12", "Top censored Israeli subnets", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Table 12", "Subnet", "Cens req", "Cens IPs", "Allow req", "Allow IPs", "Prox req", "Prox IPs")
-		for _, row := range a.IsraeliSubnets() {
-			tbl.Row(row.Subnet, row.CensoredReqs, row.CensoredIPs,
-				row.AllowedReqs, row.AllowedIPs, row.ProxiedReqs, row.ProxiedIPs)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table13", "Censorship across social networks", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Table 13 (top 10)", "OSN", "Censored", "Allowed", "Proxied")
-		for i, row := range a.SocialNetworks() {
-			if i >= 10 {
-				break
-			}
-			tbl.Row(row.Domain, row.Censored, row.Allowed, row.Proxied)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table14", "Blocked Facebook pages (custom category)", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Table 14", "Facebook page", "# Censored", "# Allowed", "# Proxied")
-		for _, row := range a.FacebookPages() {
-			tbl.Row(row.Page, row.Censored, row.Allowed, row.Proxied)
-		}
-		fmt.Print(tbl)
-	}},
-	{"table15", "Censored Facebook social-plugin elements", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Table 15", "Element", "Censored", "share of fb censored", "Allowed", "Proxied")
-		for _, row := range a.SocialPlugins(10) {
-			tbl.Row(row.Path, row.Censored, report.Percent(row.ShareOfFBCensored), row.Allowed, row.Proxied)
-		}
-		fmt.Print(tbl)
-	}},
-	{"fig1", "Destination port distribution", func(a *core.Analyzer, _ *synth.Generator) {
-		allowed, censored := a.PortDistribution()
-		printPorts := func(name string, pcs []core.PortCount) {
-			labels := make([]string, 0, 8)
-			values := make([]float64, 0, 8)
-			for i, pc := range pcs {
-				if i >= 8 {
-					break
-				}
-				labels = append(labels, fmt.Sprint(pc.Port))
-				values = append(values, float64(pc.Count))
-			}
-			fmt.Print(report.Series("Fig 1 — "+name, labels, values, 40))
-		}
-		printPorts("allowed ports", allowed)
-		fmt.Println()
-		printPorts("censored ports", censored)
-	}},
-	{"fig2", "Requests-per-domain distribution (power law)", func(a *core.Analyzer, _ *synth.Generator) {
-		for _, s := range a.DomainFreqDistribution() {
-			fmt.Printf("Fig 2 — %s: %d distinct counts, fitted alpha %.2f\n",
-				s.Class, len(s.Points), s.Alpha)
-			show := s.Points
-			if len(show) > 8 {
-				show = show[:8]
-			}
-			for _, p := range show {
-				fmt.Printf("  %8d requests -> %6d domains\n", p[0], p[1])
-			}
-		}
-	}},
-	{"fig3", "Category distribution of censored traffic", func(a *core.Analyzer, _ *synth.Generator) {
-		rows := a.CensoredCategories(false)
-		labels := make([]string, 0, len(rows))
-		values := make([]float64, 0, len(rows))
-		for i, r := range rows {
-			if i >= 12 {
-				break
-			}
-			labels = append(labels, r.Category)
-			values = append(values, r.Share*100)
-		}
-		fmt.Print(report.Series("Fig 3 — censored categories (% of censored)", labels, values, 40))
-	}},
-	{"fig4", "Per-user censorship (Duser)", func(a *core.Analyzer, _ *synth.Generator) {
-		rep := a.UserAnalysis()
-		fmt.Printf("users: %d, censored users: %d (%.2f%%)\n",
-			rep.TotalUsers, rep.CensoredUsers,
-			100*float64(rep.CensoredUsers)/float64(max(1, rep.TotalUsers)))
-		fmt.Printf("mean requests/user: censored %.1f vs others %.1f\n",
-			rep.MeanActivityCensored, rep.MeanActivityOthers)
-		fmt.Printf("share with >100 requests: censored %.1f%% vs others %.1f%%\n",
-			100*rep.ShareActiveCensored, 100*rep.ShareActiveOthers)
-		labels := make([]string, len(rep.CensoredPerUser))
-		values := make([]float64, len(rep.CensoredPerUser))
-		for i, n := range rep.CensoredPerUser {
-			labels[i] = fmt.Sprintf("%d", i+1)
-			values[i] = float64(n)
-		}
-		fmt.Print(report.Series("Fig 4a — censored requests per censored user", labels, values, 40))
-	}},
-	{"fig5", "Censored/allowed traffic over Aug 1-6", func(a *core.Analyzer, _ *synth.Generator) {
-		series := a.TimeSeries(aug(1, 0), aug(7, 0))
-		al := make([]float64, len(series))
-		ce := make([]float64, len(series))
-		for i, p := range series {
-			al[i] = float64(p.Allowed)
-			ce[i] = float64(p.Censored)
-		}
-		fmt.Println("Fig 5 — allowed (5-min slots, downsampled):")
-		fmt.Println(report.Sparkline(report.Downsample(al, 72)))
-		fmt.Println("Fig 5 — censored:")
-		fmt.Println(report.Sparkline(report.Downsample(ce, 72)))
-	}},
-	{"fig6", "Relative Censored Volume, Aug 3", func(a *core.Analyzer, _ *synth.Generator) {
-		pts := a.RCV(aug(3, 0), aug(4, 0))
-		values := make([]float64, len(pts))
-		for i, p := range pts {
-			values[i] = p.RCV
-		}
-		fmt.Println("Fig 6 — RCV across Aug 3 (5-min slots):")
-		fmt.Println(report.Sparkline(report.Downsample(values, 96)))
-		// Peak hours summary.
-		type hv struct {
-			h int
-			v float64
-		}
-		var hours []hv
-		for h := 0; h < 24; h++ {
-			sum, n := 0.0, 0
-			for _, p := range pts {
-				if int((p.Unix-aug(3, 0))/3600) == h {
-					sum += p.RCV
-					n++
-				}
-			}
-			hours = append(hours, hv{h, sum / float64(max(1, n))})
-		}
-		sort.Slice(hours, func(i, j int) bool { return hours[i].v > hours[j].v })
-		fmt.Printf("peak RCV hours: %02d:00 (%.4f), %02d:00 (%.4f), %02d:00 (%.4f)\n",
-			hours[0].h, hours[0].v, hours[1].h, hours[1].v, hours[2].h, hours[2].v)
-	}},
-	{"fig7", "Per-proxy load and censored share", func(a *core.Analyzer, _ *synth.Generator) {
-		tbl := report.NewTable("Fig 7", "Proxy", "Total", "Censored", "Censored share")
-		for _, l := range a.ProxyLoads() {
-			tbl.Row(fmt.Sprintf("SG-%d", l.SG), l.Total, l.Censored,
-				report.Percent(sfrac(l.Censored, max64(1, l.Total))))
-		}
-		fmt.Print(tbl)
-	}},
-	{"fig8", "Tor traffic", func(a *core.Analyzer, _ *synth.Generator) {
-		rep := a.TorAnalysis()
-		fmt.Printf("Tor requests: %d to %d relays (Torhttp %.1f%%, Toronion %.1f%%)\n",
-			rep.Total, rep.Relays,
-			100*sfrac(rep.HTTP, max64(1, rep.Total)), 100*sfrac(rep.Onion, max64(1, rep.Total)))
-		fmt.Printf("censored: %d (%.2f%%), tcp errors: %d (%.1f%%)\n",
-			rep.Censored, 100*sfrac(rep.Censored, max64(1, rep.Total)),
-			rep.Errors, 100*sfrac(rep.Errors, max64(1, rep.Total)))
-		for i, n := range rep.CensoredByProxy {
-			if n > 0 {
-				fmt.Printf("  censored on SG-%d: %d (%.1f%% of censored Tor)\n",
-					42+i, n, 100*sfrac(n, max64(1, rep.Censored)))
-			}
-		}
-		hourly := a.TorHourly(aug(1, 0), aug(7, 0))
-		values := make([]float64, len(hourly))
-		for i, h := range hourly {
-			values[i] = float64(h.Total)
-		}
-		fmt.Println("Fig 8a — Tor requests/hour, Aug 1-6:")
-		fmt.Println(report.Sparkline(values))
-	}},
-	{"fig9", "Tor re-censoring consistency (Rfilter)", func(a *core.Analyzer, _ *synth.Generator) {
-		pts := a.RFilter(aug(1, 0), aug(7, 0))
-		if pts == nil {
-			fmt.Println("no censored Tor relays in this corpus")
-			return
-		}
-		values := make([]float64, len(pts))
-		below := 0
-		for i, p := range pts {
-			values[i] = p.RFilter
-			if p.AllowedSeen && p.RFilter < 1 {
-				below++
-			}
-		}
-		fmt.Println("Fig 9 — Rfilter per hour (1 = fully re-censored):")
-		fmt.Println(report.Sparkline(values))
-		fmt.Printf("hours where censored relays were re-allowed: %d of %d\n", below, len(pts))
-	}},
-	{"fig10", "Anonymizer services", func(a *core.Analyzer, _ *synth.Generator) {
-		rep := a.Anonymizers()
-		fmt.Printf("anonymizer hosts: %d (%d never filtered, %.1f%%), %d requests\n",
-			rep.Hosts, rep.NeverFiltered,
-			100*float64(rep.NeverFiltered)/float64(max(1, rep.Hosts)), rep.Requests)
-		fmt.Println("Fig 10a — CDF of requests per never-filtered host:")
-		for _, q := range []float64{0.5, 0.9, 0.99} {
-			fmt.Printf("  P%.0f: %.0f requests\n", q*100, rep.RequestsCDF.Quantile(q))
-		}
-		if rep.FilteredHosts > 0 {
-			fmt.Printf("Fig 10b — filtered hosts: %d; allowed/censored ratio median %.2f\n",
-				rep.FilteredHosts, rep.RatioCDF.Quantile(0.5))
-		}
-	}},
-	{"https", "HTTPS traffic (§4)", func(a *core.Analyzer, _ *synth.Generator) {
-		rep := a.HTTPSAnalysis()
-		fmt.Printf("HTTPS/CONNECT requests: %d (%.3f%% of traffic)\n", rep.Total, 100*rep.ShareOfTraffic)
-		fmt.Printf("censored: %d (%.2f%% of HTTPS); IP-literal destinations: %d (%.1f%% of censored)\n",
-			rep.Censored, 100*rep.CensoredShare, rep.CensoredIPLiteral, 100*rep.IPLiteralShare)
-	}},
-	{"bt", "BitTorrent (§7.3)", func(a *core.Analyzer, _ *synth.Generator) {
-		d := a.DiscoverFilters(0)
-		kws := make([]string, 0, len(d.Keywords))
-		for _, kw := range d.Keywords {
-			kws = append(kws, kw.Keyword)
-		}
-		rep := a.BitTorrent(kws)
-		fmt.Printf("announces: %d from %d peers for %d contents\n", rep.Announces, rep.Users, rep.Contents)
-		fmt.Printf("allowed: %.2f%%; censored: %d\n", 100*rep.AllowedShare, rep.Censored)
-		fmt.Printf("titles resolved: %d (%.1f%%); with blacklisted keywords: %d; anti-censorship tools: %d\n",
-			rep.Resolved, 100*rep.ResolvedShare, rep.KeywordTitles, rep.ToolTitles)
-		tbl := report.NewTable("Top trackers", "Tracker", "Announces")
-		for _, tr := range rep.TopTrackers {
-			tbl.Row(tr.Domain, tr.Count)
-		}
-		fmt.Print(tbl)
-	}},
-	{"gcache", "Google cache (§7.4)", func(a *core.Analyzer, _ *synth.Generator) {
-		rep := a.GoogleCache()
-		fmt.Printf("cache requests: %d, censored: %d\n", rep.Total, rep.Censored)
-	}},
-	{"probing", "Probing-based measurement vs log analysis (§1 claims)", func(a *core.Analyzer, gen *synth.Generator) {
-		// A probing campaign over a classic candidate list: popular sites
-		// plus the suspected-blocked sites a prober might know about.
-		candidates := []string{
-			"google.com", "facebook.com", "twitter.com", "youtube.com",
-			"wikipedia.org", "amazon.com", "metacafe.com", "skype.com",
-			"badoo.com", "netlog.com", "bbc.co.uk", "aljazeera.net",
-			"aawsat.com", "panet.co.il", "linkedin.com", "flickr.com",
-		}
-		pr := prober.New(gen.Engine())
-		rep := pr.Run(prober.HomepageProbes(candidates))
-		fmt.Printf("probes: %d, blocked: %d, blocked hosts: %v\n",
-			rep.Probes, rep.Blocked, rep.BlockedHosts)
-
-		kwCov := prober.KeywordCoverage(rep, gen.Ruleset().Keywords)
-		domCov := prober.DomainCoverage(rep, gen.Ruleset().Domains)
-		fmt.Printf("probing keyword recall: %.0f%% (missed: %v)\n",
-			100*kwCov.Recall(), kwCov.MissedRules)
-		fmt.Printf("probing domain recall:  %.0f%% (%d of %d rules witnessed)\n",
-			100*domCov.Recall(), domCov.FoundRules, domCov.ReferenceRules)
-
-		d := a.DiscoverFilters(0)
-		kws := map[string]bool{}
-		for _, kw := range d.Keywords {
-			kws[kw.Keyword] = true
-		}
-		logKw := 0
-		for _, kw := range gen.Ruleset().Keywords {
-			if kws[kw] {
-				logKw++
-			}
-		}
-		fmt.Printf("log-analysis keyword recall: %.0f%% — the §1 advantage of logs over probing\n",
-			100*float64(logKw)/float64(len(gen.Ruleset().Keywords)))
-		full := a.Dataset(core.DFull)
-		fmt.Printf("extent: probing cannot measure traffic volume; logs show %s of requests censored\n",
-			report.Percent(sfrac(full.Censored(), full.Total)))
-	}},
-	{"groundtruth", "Recovered policy vs ground truth", func(a *core.Analyzer, gen *synth.Generator) {
-		d := a.DiscoverFilters(0)
-		rs := gen.Ruleset()
-		truth := map[string]bool{}
-		for _, kw := range rs.Keywords {
-			truth[kw] = true
-		}
-		hits := 0
-		for _, kw := range d.Keywords {
-			if truth[kw.Keyword] {
-				hits++
-			}
-		}
-		fmt.Printf("keyword recall: %d/%d ground-truth keywords recovered; %d extra tokens\n",
-			hits, len(rs.Keywords), len(d.Keywords)-hits)
-		blocked := 0
-		engine := gen.Engine()
-		for _, sd := range d.Domains {
-			if strings.HasPrefix(sd.Domain, ".") {
-				blocked++
-				continue
-			}
-			r := policy.Request{Host: sd.Domain, Path: "/", Scheme: "http", Method: "GET", Port: 80}
-			if engine.Evaluate(&r).Action != policy.Allow {
-				blocked++
-			}
-		}
-		fmt.Printf("domain precision: %d/%d suspected domains are truly blocked\n", blocked, len(d.Domains))
-	}},
-}
-
-func sfrac(a, b uint64) float64 {
-	if b == 0 {
-		return 0
-	}
-	return float64(a) / float64(b)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,31 @@
+package core
+
+// Clone returns a deep, independent copy of e: a fresh engine with the
+// same Options and module set, with e's state merged in. Records
+// observed by e afterwards do not affect the clone, which makes Clone
+// the copy-on-swap snapshot primitive behind internal/serve's live
+// store.
+//
+// Clone relies on the same contract as pipeline merging: module Merge
+// implementations copy state out of their source instead of aliasing
+// its maps or slices. The shared Options databases (category DB, Tor
+// consensus, title DB) are reference-shared — they are immutable after
+// construction.
+//
+// The capped stores (Options.MaxStoredCensoredURLs, MaxTokenEntries)
+// admit entries in observation order, so a clone taken after a cap was
+// hit preserves the source's admitted set — equivalence with an
+// order-shuffled batch run holds only below the caps, exactly as for
+// parallel ingestion.
+func (e *Engine) Clone() *Engine {
+	n, err := NewEngine(e.opt, e.Metrics()...)
+	if err != nil {
+		// Unreachable: e.Metrics() only returns registered module names.
+		panic("core: Clone: " + err.Error())
+	}
+	n.Merge(e)
+	return n
+}
+
+// Clone returns a deep, independent copy of the analyzer.
+func (a *Analyzer) Clone() *Analyzer { return &Analyzer{Engine: a.Engine.Clone()} }

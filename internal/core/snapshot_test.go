@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"syriafilter/internal/bittorrent"
+)
+
+func renderEverything(a *Analyzer) string {
+	var sb strings.Builder
+	for _, id := range Experiments() {
+		fmt.Fprintf(&sb, "%s: %s\n", id, experimentRender[id](a))
+	}
+	return sb.String()
+}
+
+// A clone must reproduce every experiment byte-for-byte, and must stay
+// frozen while the source engine keeps observing — the copy-on-swap
+// property internal/serve snapshots depend on.
+func TestCloneEquivalenceAndIsolation(t *testing.T) {
+	f := corpus(t)
+	opt := Options{
+		Categories: f.gen.CategoryDB(),
+		Consensus:  f.gen.Consensus(),
+		TitleDB:    bittorrent.NewTitleDB(),
+	}
+
+	// Feed the first half, snapshot, then keep feeding the live engine.
+	half := len(f.records) / 2
+	live := NewAnalyzer(opt)
+	for i := 0; i < half; i++ {
+		live.Observe(&f.records[i])
+	}
+	snap := live.Clone()
+	wantHalf := renderEverything(snap)
+
+	for i := half; i < len(f.records); i++ {
+		live.Observe(&f.records[i])
+	}
+
+	// Isolation: the snapshot did not move.
+	if got := renderEverything(snap); got != wantHalf {
+		t.Error("snapshot changed while the source engine kept observing")
+	}
+
+	// Equivalence: a batch run over the same first half matches the
+	// snapshot byte-for-byte.
+	batch := NewAnalyzer(opt)
+	for i := 0; i < half; i++ {
+		batch.Observe(&f.records[i])
+	}
+	if got := renderEverything(batch); got != wantHalf {
+		t.Error("snapshot differs from a batch run over the same records")
+	}
+
+	// The live engine caught the full corpus: it matches the package
+	// fixture (which observed every record).
+	if got, want := renderEverything(live), renderEverything(f.analyzer); got != want {
+		t.Error("live engine after cloning differs from the batch fixture")
+	}
+}
+
+// Clones of subset engines carry the subset, not the full registry.
+func TestCloneSubset(t *testing.T) {
+	sub, err := NewAnalyzerFor(Options{}, "datasets", "domains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sub.Clone()
+	if got := fmt.Sprint(c.Metrics()); got != fmt.Sprint(sub.Metrics()) {
+		t.Errorf("clone modules = %v, want %v", c.Metrics(), sub.Metrics())
+	}
+}

@@ -18,7 +18,6 @@ package pipeline
 
 import (
 	"errors"
-	"os"
 	"runtime"
 	"sync"
 
@@ -167,25 +166,17 @@ func RunScanners[A any](srcs []Scanner, n int, newAcc func() A, observe func(A, 
 	return out, nil
 }
 
-// RunFiles opens each path and runs RunScanners with one logfmt.Reader
-// per file.
+// RunFiles opens each path and runs RunScanners with one scanner per
+// file. Gzip-compressed files are decompressed transparently (see
+// OpenScanner); a missing, unreadable or malformed-gzip file is an
+// error, never a silently dropped source.
 func RunFiles[A any](paths []string, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, error) {
-	files := make([]*os.File, 0, len(paths))
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
-	srcs := make([]Scanner, 0, len(paths))
-	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			var zero A
-			return zero, err
-		}
-		files = append(files, f)
-		srcs = append(srcs, logfmt.NewReader(f))
+	srcs, closer, err := OpenFiles(paths)
+	if err != nil {
+		var zero A
+		return zero, err
 	}
+	defer closer.Close()
 	return RunScanners(srcs, n, newAcc, observe, merge)
 }
 

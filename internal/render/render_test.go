@@ -1,0 +1,154 @@
+package render
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"syriafilter/internal/bittorrent"
+	"syriafilter/internal/core"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/proxysim"
+	"syriafilter/internal/synth"
+)
+
+var (
+	fixOnce sync.Once
+	fixGen  *synth.Generator
+	fixAn   *core.Analyzer
+)
+
+// fixture analyzes one small shared corpus for the package tests.
+func fixture(t *testing.T) Context {
+	t.Helper()
+	fixOnce.Do(func() {
+		gen, err := synth.New(synth.Config{Seed: 11, TotalRequests: 20000})
+		if err != nil {
+			return
+		}
+		cluster := proxysim.NewCluster(proxysim.Config{
+			Seed: 11, Engine: gen.Engine(), Consensus: gen.Consensus(),
+		})
+		an := core.NewAnalyzer(core.Options{
+			Categories: gen.CategoryDB(),
+			Consensus:  gen.Consensus(),
+			TitleDB:    bittorrent.NewTitleDB(),
+		})
+		var rec logfmt.Record
+		for {
+			req, ok := gen.Next()
+			if !ok {
+				break
+			}
+			cluster.Process(&req, &rec)
+			an.Observe(&rec)
+		}
+		fixGen, fixAn = gen, an
+	})
+	if fixAn == nil {
+		t.Fatal("fixture failed to build")
+	}
+	return Context{An: fixAn, Gen: fixGen}
+}
+
+// Order must cover exactly the experiment ids core knows about.
+func TestOrderMatchesCoreExperiments(t *testing.T) {
+	want := map[string]bool{}
+	for _, id := range core.Experiments() {
+		want[id] = true
+	}
+	seen := map[string]bool{}
+	for _, id := range Order() {
+		if seen[id] {
+			t.Errorf("duplicate id %q in Order()", id)
+		}
+		seen[id] = true
+		if !want[id] {
+			t.Errorf("Order() id %q unknown to core.Experiments()", id)
+		}
+	}
+	for id := range want {
+		if !seen[id] {
+			t.Errorf("core experiment %q missing from Order()", id)
+		}
+	}
+}
+
+// Every experiment renders to non-empty text and valid JSON.
+func TestRenderAllExperiments(t *testing.T) {
+	cx := fixture(t)
+	for _, id := range Order() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			doc, err := Render(id, cx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if doc.ID != id || doc.Title == "" || len(doc.Sections) == 0 {
+				t.Fatalf("incomplete doc: %+v", doc)
+			}
+			if doc.Text() == "" {
+				t.Error("empty text rendering")
+			}
+			b, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var decoded struct {
+				ID       string `json:"id"`
+				Kind     string `json:"kind"`
+				Title    string `json:"title"`
+				Sections []struct {
+					Type string `json:"type"`
+				} `json:"sections"`
+			}
+			if err := json.Unmarshal(b, &decoded); err != nil {
+				t.Fatalf("round-trip: %v", err)
+			}
+			if decoded.ID != id || decoded.Kind != Kind(id) || len(decoded.Sections) != len(doc.Sections) {
+				t.Errorf("JSON envelope mismatch: %s", b)
+			}
+		})
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	cx := fixture(t)
+	if _, err := Render("table99", cx); err == nil {
+		t.Error("unknown id should error")
+	}
+	// Generator-requiring experiments degrade to an error without one.
+	for _, id := range []string{"probing", "groundtruth"} {
+		if !NeedsGenerator(id) {
+			t.Errorf("NeedsGenerator(%q) = false", id)
+		}
+		if _, err := Render(id, Context{An: cx.An}); err == nil {
+			t.Errorf("%s without generator should error", id)
+		}
+	}
+	if NeedsGenerator("table1") {
+		t.Error("table1 should not need the generator")
+	}
+	// A subset engine missing the needed module yields an error, not a
+	// panic (the daemon can be built with a module subset).
+	sub, err := core.NewAnalyzerFor(core.Options{}, "datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Render("table4", Context{An: sub}); err == nil {
+		t.Error("missing module should surface as an error")
+	}
+	if _, err := Render("table1", Context{An: sub}); err != nil {
+		t.Errorf("table1 on a datasets-only engine should work: %v", err)
+	}
+}
+
+func TestKind(t *testing.T) {
+	for id, want := range map[string]string{
+		"table4": "table", "fig8": "figure", "https": "analysis", "bt": "analysis",
+	} {
+		if got := Kind(id); got != want {
+			t.Errorf("Kind(%q) = %q, want %q", id, got, want)
+		}
+	}
+}

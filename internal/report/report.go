@@ -1,20 +1,31 @@
 // Package report renders analysis results as aligned text tables and
 // ASCII series, so each of the paper's tables and figures can be printed
 // by cmd/censorlyzer and the examples without any plotting dependency.
+// Tables and charts also marshal to JSON (typed rows, not pre-formatted
+// strings), so cmd/censord's HTTP API and `censorlyzer -json` share one
+// encoder.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 )
 
+// Cell is one table cell: the original value (for typed JSON encoding)
+// plus its text rendering.
+type Cell struct {
+	Value any
+	Text  string
+}
+
 // Table accumulates rows and renders them with aligned columns.
 type Table struct {
 	title   string
 	headers []string
-	rows    [][]string
+	rows    [][]Cell
 }
 
 // NewTable starts a table with a title and column headers.
@@ -22,19 +33,77 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// Row appends one row; values are formatted with %v.
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns the column headers.
+func (t *Table) Headers() []string { return t.headers }
+
+// NumRows returns the number of appended rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row appends one row; values are formatted with %v (floats compactly via
+// FormatFloat) but kept alongside their rendering for typed JSON output.
 func (t *Table) Row(values ...interface{}) *Table {
-	row := make([]string, len(values))
+	row := make([]Cell, len(values))
 	for i, v := range values {
+		var text string
 		switch x := v.(type) {
 		case float64:
-			row[i] = FormatFloat(x)
+			text = FormatFloat(x)
 		default:
-			row[i] = fmt.Sprintf("%v", v)
+			text = fmt.Sprintf("%v", v)
 		}
+		row[i] = Cell{Value: v, Text: text}
 	}
 	t.rows = append(t.rows, row)
 	return t
+}
+
+// jsonValue returns the typed JSON form of a cell: numbers stay numbers,
+// booleans stay booleans, everything else (including non-finite floats,
+// which JSON cannot carry) falls back to the rendered text.
+func (c Cell) jsonValue() any {
+	switch x := c.Value.(type) {
+	case int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64, uintptr,
+		bool:
+		return x
+	case float32:
+		if f := float64(x); math.IsNaN(f) || math.IsInf(f, 0) {
+			return c.Text
+		}
+		return x
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return c.Text
+		}
+		return x
+	default:
+		return c.Text
+	}
+}
+
+// MarshalJSON encodes the table as {"title", "headers", "rows"} with
+// typed row values.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := make([][]any, len(t.rows))
+	for i, r := range t.rows {
+		row := make([]any, len(r))
+		for j, c := range r {
+			row[j] = c.jsonValue()
+		}
+		rows[i] = row
+	}
+	headers := t.headers
+	if headers == nil {
+		headers = []string{}
+	}
+	return json.Marshal(struct {
+		Title   string   `json:"title"`
+		Headers []string `json:"headers"`
+		Rows    [][]any  `json:"rows"`
+	}{t.title, headers, rows})
 }
 
 // FormatFloat renders floats compactly (4 significant decimals max).
@@ -64,9 +133,16 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+	textRow := func(r []Cell) []string {
+		out := make([]string, len(r))
+		for i, c := range r {
+			out[i] = c.Text
+		}
+		return out
+	}
 	measure(t.headers)
 	for _, r := range t.rows {
-		measure(r)
+		measure(textRow(r))
 	}
 
 	var sb strings.Builder
@@ -105,7 +181,7 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 		sb.WriteByte('\n')
 	}
 	for _, r := range t.rows {
-		writeRow(r)
+		writeRow(textRow(r))
 	}
 	n, err := io.WriteString(w, sb.String())
 	return int64(n), err
@@ -116,6 +192,39 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	_, _ = t.WriteTo(&sb)
 	return sb.String()
+}
+
+// Chart is the data form of one figure panel: a labeled numeric series.
+// It marshals naturally to JSON and renders to text either as a
+// horizontal bar chart (Series) or, when Spark is set, as a sparkline
+// for dense time series.
+type Chart struct {
+	Title  string    `json:"title"`
+	Labels []string  `json:"labels,omitempty"`
+	Values []float64 `json:"values"`
+	Spark  bool      `json:"spark,omitempty"`
+}
+
+// NewChart builds a bar-style chart. labels may be nil.
+func NewChart(title string, labels []string, values []float64) *Chart {
+	return &Chart{Title: title, Labels: labels, Values: values}
+}
+
+// NewSpark builds a sparkline-style chart.
+func NewSpark(title string, values []float64) *Chart {
+	return &Chart{Title: title, Values: values, Spark: true}
+}
+
+// Text renders the chart. width bounds the bar length (ignored for
+// sparklines).
+func (c *Chart) Text(width int) string {
+	if c.Spark {
+		if c.Title == "" {
+			return Sparkline(c.Values) + "\n"
+		}
+		return c.Title + "\n" + Sparkline(c.Values) + "\n"
+	}
+	return Series(c.Title, c.Labels, c.Values, width)
 }
 
 // Series renders a numeric series as a horizontal ASCII bar chart, one

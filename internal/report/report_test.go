@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -119,5 +121,71 @@ func TestDownsample(t *testing.T) {
 	same[0] = -1
 	if in[0] == -1 {
 		t.Error("Downsample returned the input slice")
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tbl := NewTable("Demo", "Domain", "Count", "Share")
+	tbl.Row("facebook.com", uint64(1616174), 0.2191)
+	tbl.Row("x.il", 3, math.Inf(1))
+	b, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string   `json:"title"`
+		Headers []string `json:"headers"`
+		Rows    [][]any  `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("invalid JSON %s: %v", b, err)
+	}
+	if got.Title != "Demo" || len(got.Headers) != 3 || len(got.Rows) != 2 {
+		t.Fatalf("unexpected envelope: %s", b)
+	}
+	// Typed rows: strings stay strings, numbers stay numbers (decoded as
+	// float64 by encoding/json), non-finite floats fall back to text.
+	if got.Rows[0][0] != "facebook.com" {
+		t.Errorf("row[0][0] = %v", got.Rows[0][0])
+	}
+	if n, ok := got.Rows[0][1].(float64); !ok || n != 1616174 {
+		t.Errorf("row[0][1] = %v (%T), want 1616174 as number", got.Rows[0][1], got.Rows[0][1])
+	}
+	if n, ok := got.Rows[0][2].(float64); !ok || n != 0.2191 {
+		t.Errorf("row[0][2] = %v, want 0.2191 as number", got.Rows[0][2])
+	}
+	if _, ok := got.Rows[1][2].(string); !ok {
+		t.Errorf("non-finite float should marshal as text, got %v (%T)", got.Rows[1][2], got.Rows[1][2])
+	}
+}
+
+func TestTableMarshalJSONEmpty(t *testing.T) {
+	b, err := json.Marshal(NewTable(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(b); !strings.Contains(s, `"headers":[]`) || !strings.Contains(s, `"rows":[]`) {
+		t.Errorf("empty table should keep empty arrays, got %s", s)
+	}
+}
+
+func TestChart(t *testing.T) {
+	c := NewChart("Fig X", []string{"a", "b"}, []float64{1, 2})
+	if out := c.Text(10); !strings.Contains(out, "Fig X") || !strings.Contains(out, "#") {
+		t.Errorf("bar chart rendering: %q", out)
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(b); !strings.Contains(s, `"labels":["a","b"]`) || !strings.Contains(s, `"values":[1,2]`) {
+		t.Errorf("chart JSON: %s", s)
+	}
+	sp := NewSpark("Fig Y", []float64{1, 2, 3})
+	if out := sp.Text(0); !strings.Contains(out, "Fig Y") || !strings.ContainsRune(out, '█') {
+		t.Errorf("sparkline rendering: %q", out)
+	}
+	if b, _ := json.Marshal(sp); !strings.Contains(string(b), `"spark":true`) {
+		t.Errorf("spark flag missing: %s", b)
 	}
 }

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"syriafilter/internal/core"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/render"
+	"syriafilter/internal/synth"
+)
+
+// Server is the HTTP query API over a Store:
+//
+//	GET  /healthz                     liveness + snapshot freshness
+//	GET  /v1/stats                    store counters
+//	GET  /v1/experiments              experiment index (id, kind, title, modules)
+//	GET  /v1/experiments/{id}         any experiment (table4, fig8, https, ...)
+//	GET  /v1/tables/{id}              tables only; "table4" or bare "4"
+//	GET  /v1/figures/{id}             figures only; "fig8" or bare "8"
+//	POST /v1/ingest                   CSV log lines (gzip ok) into the store
+//	POST /v1/snapshot                 force a snapshot rebuild
+//
+// Query endpoints serve JSON by default and aligned text with
+// ?format=text; ?fresh=1 rebuilds the snapshot before answering. JSON
+// bodies are the render.Doc encoding — byte-identical to
+// `censorlyzer -json` over the same records, which is what the CI smoke
+// test diffs.
+type Server struct {
+	store *Store
+	gen   *synth.Generator
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wires the routes. gen is the optional ground-truth world;
+// without it the generator-requiring experiments (probing, groundtruth)
+// answer 422.
+func NewServer(store *Store, gen *synth.Generator) *Server {
+	s := &Server{store: store, gen: gen, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleIndex)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
+	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"uptime_seconds":   int64(time.Since(s.start).Seconds()),
+		"ingested":         s.store.ingested.Load(),
+		"snapshot_seq":     snap.Seq,
+		"snapshot_records": snap.Records,
+		"snapshot_age_sec": int64(time.Since(snap.Built).Seconds()),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID      string   `json:"id"`
+		Kind    string   `json:"kind"`
+		Title   string   `json:"title"`
+		Modules []string `json:"modules"`
+	}
+	var out []entry
+	for _, id := range render.Order() {
+		mods, err := core.ModulesFor(id)
+		if err != nil {
+			continue
+		}
+		out = append(out, entry{ID: id, Kind: render.Kind(id), Title: render.Title(id), Modules: mods})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.serveDoc(w, r, r.PathValue("id"), "")
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !strings.HasPrefix(id, "table") {
+		id = "table" + id
+	}
+	s.serveDoc(w, r, id, "table")
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !strings.HasPrefix(id, "fig") {
+		id = "fig" + id
+	}
+	s.serveDoc(w, r, id, "figure")
+}
+
+// serveDoc renders one experiment against the current (or, with
+// ?fresh=1, a just-rebuilt) snapshot. wantKind restricts the endpoint to
+// tables or figures; "" accepts any experiment.
+func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind string) {
+	if wantKind != "" && render.Kind(id) != wantKind {
+		writeError(w, http.StatusNotFound, "%s is not a %s id", id, wantKind)
+		return
+	}
+	snap := s.store.Current()
+	if r.URL.Query().Get("fresh") == "1" {
+		var err error
+		if snap, err = s.store.Refresh(); err != nil {
+			writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+			return
+		}
+	}
+	doc, err := render.Render(id, render.Context{An: snap.An, Gen: s.gen})
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if strings.Contains(err.Error(), "unknown experiment id") {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("X-Snapshot-Seq", fmt.Sprint(snap.Seq))
+	w.Header().Set("X-Snapshot-Records", fmt.Sprint(snap.Records))
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, doc.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleIngest accepts a batch of CSV log lines (the 26-field Blue Coat
+// format of internal/logfmt), transparently gunzipping when the body is
+// gzip (Content-Encoding header or magic bytes). Malformed lines are
+// counted and skipped, like the file reader. ?refresh=1 rebuilds the
+// snapshot after the batch so it is immediately queryable.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReader(r.Body)
+	body := io.Reader(br)
+	magic, _ := br.Peek(2)
+	if r.Header.Get("Content-Encoding") == "gzip" ||
+		(len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b) {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "gzip: %v", err)
+			return
+		}
+		defer zr.Close()
+		body = zr
+	}
+	reader := logfmt.NewReader(body)
+	added, err := s.store.IngestScanner(reader)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "ingest after %d records: %v", added, err)
+		return
+	}
+	resp := map[string]any{"added": added, "malformed": reader.Malformed()}
+	if r.URL.Query().Get("refresh") == "1" {
+		snap, err := s.store.Refresh()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+			return
+		}
+		resp["snapshot_seq"] = snap.Seq
+		resp["snapshot_records"] = snap.Records
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Refresh()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot_seq":     snap.Seq,
+		"snapshot_records": snap.Records,
+		"built":            snap.Built.UTC().Format(time.RFC3339),
+	})
+}

@@ -1,0 +1,300 @@
+// Package serve turns the batch metric engine into a continuously
+// running service: a sharded live store ingests log records while an
+// immutable snapshot layer serves every experiment of the paper's
+// evaluation over HTTP (see Server).
+//
+// Architecture: N hash-partitioned shards, each a single goroutine that
+// owns one core engine and drains a channel of record batches, so
+// ingestion is lock-free and never blocks queries. Snapshots are built
+// copy-on-swap: a fresh engine is merged through every shard — each
+// merge runs on the shard's own goroutine, between its batches, so
+// engines are never touched concurrently — and the result is atomically
+// swapped into place. Queries always read a consistent point-in-time
+// engine and never take a lock.
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"syriafilter/internal/core"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/pipeline"
+	"syriafilter/internal/stats"
+)
+
+// Config configures a Store.
+type Config struct {
+	// Options configures every shard engine (and snapshot engines).
+	Options core.Options
+	// Metrics restricts shards to a metric-module subset (nil = every
+	// module); derive it with core.ModulesFor to serve fewer experiments
+	// more cheaply.
+	Metrics []string
+	// Shards is the number of engine shards. <= 0 picks GOMAXPROCS,
+	// capped at 16.
+	Shards int
+	// SnapshotEvery rebuilds the read snapshot in the background at this
+	// period. 0 disables the background builder: snapshots happen only
+	// through Refresh.
+	SnapshotEvery time.Duration
+}
+
+// Snapshot is one immutable point-in-time view of the store. Its
+// analyzer is never written after publication, so any number of queries
+// may read it concurrently.
+type Snapshot struct {
+	An *core.Analyzer
+	// Seq increments with every rebuild (0 = the boot-time empty view).
+	Seq uint64
+	// Records is the number of records folded into this snapshot.
+	Records uint64
+	// Built is the snapshot's build time.
+	Built time.Time
+}
+
+// Stats summarizes a Store for monitoring.
+type Stats struct {
+	Shards          int      `json:"shards"`
+	Metrics         []string `json:"metrics"`
+	Ingested        uint64   `json:"ingested"`
+	SnapshotSeq     uint64   `json:"snapshot_seq"`
+	SnapshotRecords uint64   `json:"snapshot_records"`
+	SnapshotBuilt   string   `json:"snapshot_built"`
+}
+
+// shardMsg is one unit of shard work: either a batch to observe or a
+// control op to run between batches (snapshot merges use ops, so they
+// serialize with ingestion without any engine lock).
+type shardMsg struct {
+	batch []logfmt.Record
+	op    func(an *core.Analyzer, observed uint64)
+	done  chan struct{}
+}
+
+type shard struct {
+	msgs chan shardMsg
+}
+
+func (s *shard) loop(an *core.Analyzer, wg *sync.WaitGroup) {
+	defer wg.Done()
+	var observed uint64
+	for m := range s.msgs {
+		if m.op != nil {
+			m.op(an, observed)
+			close(m.done)
+			continue
+		}
+		for i := range m.batch {
+			an.Observe(&m.batch[i])
+		}
+		observed += uint64(len(m.batch))
+	}
+}
+
+// shardQueue is the per-shard batch buffer: enough to keep shards busy,
+// small enough that Add exerts backpressure instead of buffering
+// unboundedly.
+const shardQueue = 8
+
+// Store is the sharded live store. See the package comment for the
+// concurrency design.
+type Store struct {
+	cfg    Config
+	shards []*shard
+
+	snap      atomic.Pointer[Snapshot]
+	seq       atomic.Uint64
+	ingested  atomic.Uint64
+	refreshMu sync.Mutex // serializes snapshot builds
+
+	mu     sync.RWMutex // guards closed vs. in-flight sends
+	closed bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// NewStore builds the shards and starts their goroutines (plus the
+// background snapshot builder when Config.SnapshotEvery is set). The
+// initial snapshot is an empty view, so queries work immediately.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 16 {
+			cfg.Shards = 16
+		}
+	}
+	st := &Store{cfg: cfg, stop: make(chan struct{})}
+	for i := 0; i < cfg.Shards; i++ {
+		an, err := core.NewAnalyzerFor(cfg.Options, cfg.Metrics...)
+		if err != nil {
+			for _, sh := range st.shards {
+				close(sh.msgs)
+			}
+			return nil, err
+		}
+		sh := &shard{msgs: make(chan shardMsg, shardQueue)}
+		st.shards = append(st.shards, sh)
+		st.wg.Add(1)
+		go sh.loop(an, &st.wg)
+	}
+	empty, err := core.NewAnalyzerFor(cfg.Options, cfg.Metrics...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.snap.Store(&Snapshot{An: empty, Built: time.Now()})
+	if cfg.SnapshotEvery > 0 {
+		st.wg.Add(1)
+		go st.refreshLoop(cfg.SnapshotEvery)
+	}
+	return st, nil
+}
+
+func (st *Store) refreshLoop(every time.Duration) {
+	defer st.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-tick.C:
+			st.Refresh()
+		}
+	}
+}
+
+// shardKey routes a record to its shard: hashing client and host keeps
+// related records together while distributing both dimensions.
+func shardKey(rec *logfmt.Record) uint64 {
+	return stats.Hash64(rec.ClientIP) ^ stats.Hash64(rec.Host)
+}
+
+// Add routes records to their shards and blocks until every batch is
+// enqueued — backpressure, not dropping, under overload. Records are
+// copied, so the caller may reuse recs. Returns the number accepted (0
+// after Close).
+func (st *Store) Add(recs []logfmt.Record) uint64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return 0
+	}
+	n := uint64(len(st.shards))
+	buckets := make([][]logfmt.Record, n)
+	for i := range recs {
+		b := shardKey(&recs[i]) % n
+		buckets[b] = append(buckets[b], recs[i])
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			st.shards[i].msgs <- shardMsg{batch: b}
+		}
+	}
+	st.ingested.Add(uint64(len(recs)))
+	return uint64(len(recs))
+}
+
+// IngestScanner drains sc into the store in pipeline.BatchSize chunks,
+// returning the number of records added and the scanner's terminal
+// error.
+func (st *Store) IngestScanner(sc pipeline.Scanner) (uint64, error) {
+	var added uint64
+	batch := make([]logfmt.Record, 0, pipeline.BatchSize)
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, *rec)
+		if len(batch) == pipeline.BatchSize {
+			added += st.Add(batch)
+			batch = batch[:0]
+		}
+	}
+	added += st.Add(batch)
+	return added, sc.Err()
+}
+
+// Current returns the latest published snapshot (never nil).
+func (st *Store) Current() *Snapshot { return st.snap.Load() }
+
+// Refresh builds a new snapshot now and swaps it in: a fresh engine is
+// merged through every shard, each merge running on that shard's
+// goroutine after the batches enqueued before the request — so the
+// snapshot is a consistent prefix of the ingest stream and no engine is
+// ever accessed concurrently. Ingestion keeps flowing on the other
+// shards while one shard merges.
+func (st *Store) Refresh() (*Snapshot, error) {
+	st.refreshMu.Lock()
+	defer st.refreshMu.Unlock()
+	st.mu.RLock()
+	if st.closed {
+		st.mu.RUnlock()
+		return st.Current(), nil
+	}
+	fresh, err := core.NewAnalyzerFor(st.cfg.Options, st.cfg.Metrics...)
+	if err != nil {
+		st.mu.RUnlock()
+		return nil, err
+	}
+	var records uint64
+	for _, sh := range st.shards {
+		done := make(chan struct{})
+		sh.msgs <- shardMsg{op: func(an *core.Analyzer, observed uint64) {
+			fresh.Merge(an)
+			records += observed
+		}, done: done}
+		<-done
+	}
+	st.mu.RUnlock()
+	snap := &Snapshot{
+		An:      fresh,
+		Seq:     st.seq.Add(1),
+		Records: records,
+		Built:   time.Now(),
+	}
+	st.snap.Store(snap)
+	return snap, nil
+}
+
+// Stats reports store counters.
+func (st *Store) Stats() Stats {
+	snap := st.Current()
+	metrics := st.cfg.Metrics
+	if metrics == nil {
+		metrics = core.AllMetrics()
+	}
+	return Stats{
+		Shards:          len(st.shards),
+		Metrics:         metrics,
+		Ingested:        st.ingested.Load(),
+		SnapshotSeq:     snap.Seq,
+		SnapshotRecords: snap.Records,
+		SnapshotBuilt:   snap.Built.UTC().Format(time.RFC3339),
+	}
+}
+
+// Close stops the background builder and the shard goroutines. Add
+// becomes a no-op; the last published snapshot keeps serving.
+func (st *Store) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	close(st.stop)
+	for _, sh := range st.shards {
+		close(sh.msgs)
+	}
+	st.mu.Unlock()
+	st.wg.Wait()
+}
