@@ -11,6 +11,8 @@ package repro
 
 import (
 	"encoding/csv"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -112,6 +114,107 @@ func BenchmarkAnalyzerObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		an.Observe(&f.records[i%len(f.records)])
 	}
+}
+
+// --- End-to-end file ingestion: scanner layer vs block layer ---
+
+var (
+	ingestFileOnce sync.Once
+	ingestFileDir  string
+	ingestFilePath string
+	ingestFileSize int64
+)
+
+// TestMain cleans up the benchmark corpus file, which outlives any one
+// (sub-)benchmark and therefore cannot live in a b.TempDir.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if ingestFileDir != "" {
+		os.RemoveAll(ingestFileDir)
+	}
+	os.Exit(code)
+}
+
+// ingestBenchFile serializes the whole benchmark corpus into ONE large
+// log file — the worst case for the scanner layer, whose parsing runs on
+// a single goroutine per file.
+func ingestBenchFile(b *testing.B) (string, int64) {
+	f := fixture(b)
+	ingestFileOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ingestbench")
+		if err != nil {
+			panic(err)
+		}
+		ingestFileDir = dir
+		path := filepath.Join(dir, "corpus.csv")
+		fh, err := os.Create(path)
+		if err != nil {
+			panic(err)
+		}
+		w := logfmt.NewWriter(fh)
+		if err := w.WriteHeader(); err != nil {
+			panic(err)
+		}
+		for i := range f.records {
+			if err := w.Write(&f.records[i]); err != nil {
+				panic(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		if err := fh.Close(); err != nil {
+			panic(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			panic(err)
+		}
+		ingestFilePath, ingestFileSize = path, st.Size()
+	})
+	return ingestFilePath, ingestFileSize
+}
+
+// BenchmarkIngestEndToEnd measures the whole file -> full-engine path
+// (read, split, parse, observe, merge) on a single large input file, in
+// MB/s of file bytes. The scanner sub-benchmark decodes on one goroutine
+// feeding the worker pool; the blocks sub-benchmark ships raw
+// line-aligned blocks to the pool so the parse itself parallelizes —
+// the speedup scales with GOMAXPROCS.
+func BenchmarkIngestEndToEnd(b *testing.B) {
+	f := fixture(b)
+	path, size := ingestBenchFile(b)
+	opts := benchOpts(f)
+	newAcc := func() *core.Analyzer { return core.NewAnalyzer(opts) }
+	observe := func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) }
+	merge := func(dst, src *core.Analyzer) { dst.Merge(src) }
+
+	b.Run("scanner", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			an, err := pipeline.RunFiles([]string{path}, 0, newAcc, observe, merge)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if an.Dataset(core.DFull).Total == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("blocks", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			an, stats, err := pipeline.RunFilesBlocks([]string{path}, 0, newAcc, observe, merge)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Records == 0 || an.Dataset(core.DFull).Total == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
 }
 
 // --- Tables and figures: subset-engine benchmarks ---

@@ -41,7 +41,6 @@ import (
 
 	"syriafilter/internal/bittorrent"
 	"syriafilter/internal/core"
-	"syriafilter/internal/pipeline"
 	"syriafilter/internal/serve"
 	"syriafilter/internal/synth"
 )
@@ -144,35 +143,16 @@ func main() {
 	store.Close()
 }
 
-// ingestFiles feeds the paths into the store, one scanner goroutine per
-// file (the store's shards parallelize the analysis side).
+// ingestFiles feeds the paths into the store through the block-parallel
+// path: one block-reader goroutine per file, line splitting and parsing
+// spread across the worker pool, the store's shards parallelizing the
+// analysis side.
 func ingestFiles(store *serve.Store, paths []string) (uint64, error) {
-	srcs, closer, err := pipeline.OpenFiles(paths)
-	if err != nil {
-		return 0, err
+	added, malformed, err := store.IngestFiles(paths, 0)
+	if malformed > 0 {
+		logf("skipped %d malformed lines", malformed)
 	}
-	defer closer.Close()
-	var (
-		wg    sync.WaitGroup
-		total uint64
-		mu    sync.Mutex
-		first error
-	)
-	for _, src := range srcs {
-		wg.Add(1)
-		go func(src pipeline.Scanner) {
-			defer wg.Done()
-			n, err := store.IngestScanner(src)
-			mu.Lock()
-			total += n
-			if err != nil && first == nil {
-				first = err
-			}
-			mu.Unlock()
-		}(src)
-	}
-	wg.Wait()
-	return total, first
+	return added, err
 }
 
 // watchLoop polls dir and ingests files it has not seen yet, refreshing

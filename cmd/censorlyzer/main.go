@@ -137,8 +137,9 @@ func fatal(err error) {
 
 // analyze builds the Analyzer from files or by synthesizing the corpus.
 // metrics restricts the engine to a module subset (nil = all); input
-// files are decoded with one scanner goroutine per file feeding the
-// worker pool.
+// files are block-ingested — line splitting and parsing spread across
+// the worker pool, not one decode goroutine per file — so even a single
+// large file scans on every core.
 func analyze(gen *synth.Generator, input string, seed uint64, workers int, metrics []string) (*core.Analyzer, error) {
 	newAcc := func() *core.Analyzer {
 		a, err := core.NewAnalyzerFor(core.Options{
@@ -171,9 +172,16 @@ func analyze(gen *synth.Generator, input string, seed uint64, workers int, metri
 	for _, path := range strings.Split(input, ",") {
 		paths = append(paths, strings.TrimSpace(path))
 	}
-	return pipeline.RunFiles(paths, workers,
+	an, stats, err := pipeline.RunFilesBlocks(paths, workers,
 		newAcc,
 		func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) },
 		func(dst, src *core.Analyzer) { dst.Merge(src) },
 	)
+	if err != nil {
+		return nil, err
+	}
+	if stats.Malformed > 0 {
+		fmt.Fprintf(os.Stderr, "censorlyzer: skipped %d malformed lines\n", stats.Malformed)
+	}
+	return an, nil
 }

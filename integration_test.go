@@ -5,14 +5,17 @@ package repro
 // path, plus failure injection on the on-disk corpus.
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"syriafilter/internal/bittorrent"
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/proxysim"
+	"syriafilter/internal/render"
 	"syriafilter/internal/synth"
 )
 
@@ -160,6 +163,55 @@ func TestCorruptedCorpusIsTolerated(t *testing.T) {
 	}
 	if refTotal-gotTotal > 3 {
 		t.Errorf("lost %d records to a 1-line corruption", refTotal-gotTotal)
+	}
+}
+
+// The acceptance criterion for the block ingestion layer: block-parallel
+// ingest (pipeline.RunFilesBlocks — raw byte blocks parsed on the worker
+// pool) must produce identical tables and figures to the scanner path
+// for every experiment id, on the same syngen corpus. Run under -race in
+// CI, this also proves the concurrent parse workers are race-free.
+func TestBlockIngestMatchesScannerPath(t *testing.T) {
+	dir := t.TempDir()
+	gen, _, paths := buildCorpusFiles(t, dir, 91, 60000)
+	newAcc := func() *core.Analyzer {
+		return core.NewAnalyzer(core.Options{
+			Categories: gen.CategoryDB(), Consensus: gen.Consensus(),
+			TitleDB: bittorrent.NewTitleDB(),
+		})
+	}
+	observe := func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) }
+	merge := func(dst, src *core.Analyzer) { dst.Merge(src) }
+
+	scanner, err := pipeline.RunFiles(paths, 4, newAcc, observe, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, stats, err := pipeline.RunFilesBlocks(paths, 8, newAcc, observe, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Malformed != 0 {
+		t.Fatalf("clean corpus reported %d malformed lines", stats.Malformed)
+	}
+	if stats.Records == 0 || stats.Lines <= stats.Records {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+
+	for _, id := range render.Order() {
+		want, err := render.Render(id, render.Context{An: scanner, Gen: gen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := render.Render(id, render.Context{An: blocks, Gen: gen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, _ := json.Marshal(want)
+		gb, _ := json.Marshal(got)
+		if string(wb) != string(gb) {
+			t.Errorf("%s: block path differs from scanner path\n got: %.300s\nwant: %.300s", id, gb, wb)
+		}
 	}
 }
 

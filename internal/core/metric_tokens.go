@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/stats"
 )
@@ -53,7 +55,11 @@ func (m *tokensMetric) Observe(rec *logfmt.Record) {
 	if m.cx.proxied {
 		tokenizeRecord(rec, m.proxied.add)
 	}
-	if rec.Exception == logfmt.ExPolicyDenied && len(m.censoredURLs) < m.opt.MaxStoredCensoredURLs {
+	if rec.Exception == logfmt.ExPolicyDenied && m.opt.MaxStoredCensoredURLs > 0 {
+		max := m.opt.MaxStoredCensoredURLs
+		if len(m.censoredURLs) >= 2*max {
+			m.censoredURLs = keepSmallestCensored(m.censoredURLs, max)
+		}
 		m.censoredURLs = append(m.censoredURLs, censoredURL{
 			Domain: m.cx.Domain(), URL: rec.URL(), Host: rec.Host,
 		})
@@ -66,6 +72,51 @@ func (m *tokensMetric) Merge(other Metric) {
 	m.proxied.counter.Merge(o.proxied.counter)
 	m.censoredURLs = append(m.censoredURLs, o.censoredURLs...)
 	if len(m.censoredURLs) > m.opt.MaxStoredCensoredURLs {
-		m.censoredURLs = m.censoredURLs[:m.opt.MaxStoredCensoredURLs]
+		m.censoredURLs = keepSmallestCensored(m.censoredURLs, m.opt.MaxStoredCensoredURLs)
 	}
+}
+
+// censored returns the store in its canonical form — sorted by
+// (Domain, URL, Host) and truncated to the cap — which is the view every
+// consumer reads. Between compactions the raw slice may briefly hold up
+// to 2x the cap; canonicalizing at the read boundary keeps the exposed
+// set (and its order) a pure function of the observed corpus. It works
+// on a copy: published snapshots are queried concurrently (serve's
+// immutability contract), so a read must never reorder shared state.
+func (m *tokensMetric) censored() []censoredURL {
+	s := append([]censoredURL(nil), m.censoredURLs...)
+	if max := m.opt.MaxStoredCensoredURLs; max > 0 && len(s) > max {
+		return keepSmallestCensored(s, max)
+	}
+	sortCensored(s)
+	return s
+}
+
+// keepSmallestCensored truncates the store to the max smallest entries
+// under the (Domain, URL, Host) order. Selecting by value rather than by
+// arrival makes the kept set a pure function of the observed multiset:
+// each worker's store always contains the k smallest entries it has seen
+// (Observe compacts at 2k, amortizing the sort), so any merge order or
+// worker count converges on the k smallest of the whole corpus — unlike
+// first-k-by-arrival, which depended on scheduler interleaving past the
+// cap.
+func keepSmallestCensored(s []censoredURL, max int) []censoredURL {
+	if max < 0 {
+		max = 0
+	}
+	sortCensored(s)
+	return s[:max]
+}
+
+func sortCensored(s []censoredURL) {
+	sort.Slice(s, func(i, j int) bool {
+		a, b := &s[i], &s[j]
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		if a.URL != b.URL {
+			return a.URL < b.URL
+		}
+		return a.Host < b.Host
+	})
 }

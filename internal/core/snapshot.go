@@ -12,11 +12,12 @@ package core
 // consensus, title DB) are reference-shared — they are immutable after
 // construction.
 //
-// The capped stores (Options.MaxStoredCensoredURLs, MaxTokenEntries)
-// admit entries in observation order, so a clone taken after a cap was
-// hit preserves the source's admitted set — equivalence with an
-// order-shuffled batch run holds only below the caps, exactly as for
-// parallel ingestion.
+// The censored-URL store (Options.MaxStoredCensoredURLs) keeps the k
+// smallest entries by (Domain, URL, Host) — an order-independent
+// selection — so clones agree with order-shuffled batch runs even past
+// that cap. The token-vocabulary cap (MaxTokenEntries) still admits in
+// observation order; equivalence past it holds only for identical
+// observation orders, exactly as for parallel ingestion.
 func (e *Engine) Clone() *Engine {
 	n, err := NewEngine(e.opt, e.Metrics()...)
 	if err != nil {

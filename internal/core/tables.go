@@ -204,7 +204,7 @@ func (e *Engine) DiscoverFilters(minCount uint64) Discovery {
 		tokens []string
 	}
 	var residue []residueEntry
-	for _, cu := range tm.censoredURLs {
+	for _, cu := range tm.censored() {
 		if blockedTLDs[urlx.TLD(cu.Host)] || urlx.IsIPv4(cu.Host) {
 			continue
 		}

@@ -1,0 +1,227 @@
+package pipeline
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"syriafilter/internal/logfmt"
+)
+
+// This file is the block ingestion layer. The Scanner layer (Run,
+// RunScanners) parses every line on the scanner goroutine, so a single
+// large file decodes on one core no matter how many workers exist. Here
+// the unit of work shipped to the pool is a raw line-aligned byte block
+// (logfmt.Block): reader goroutines only snap blocks to line boundaries,
+// and the workers split, parse and fold — so the parse itself spreads
+// across every core. Malformed-line counting, strict-mode line numbers
+// and gzip transparency match the Scanner layer; see DESIGN.md §4 for
+// when to prefer which.
+
+// BlockStats aggregates parse counters across every source and worker of
+// a block run.
+type BlockStats struct {
+	// Lines is the number of physical lines consumed, including comments,
+	// blanks and malformed lines.
+	Lines uint64
+	// Records is the number of well-formed records folded.
+	Records uint64
+	// Malformed is the number of skipped malformed lines.
+	Malformed uint64
+}
+
+// BlockSource is one block stream plus its error-attribution context.
+type BlockSource struct {
+	// R yields the line-aligned blocks.
+	R *logfmt.BlockReader
+	// Path labels errors from this source ("" leaves them unwrapped).
+	Path string
+	// Strict aborts the run at this source's first malformed line, with
+	// the same "line N" numbering the Scanner layer reports.
+	Strict bool
+}
+
+// blockItem routes one block to the pool with its source index.
+type blockItem struct {
+	src int
+	blk logfmt.Block
+}
+
+// RunBlocks drains a single block stream with n parse workers. Each
+// worker owns an accumulator from newAcc, parses whole blocks
+// (one block-sized string conversion, every record's fields aliasing it)
+// and folds records with observe; merge folds worker accumulators into
+// the first one, which is returned. n <= 0 uses GOMAXPROCS.
+//
+// The Record passed to observe is reused between lines: observe must copy
+// the struct if it keeps it (retaining field strings is fine). Results
+// are deterministic for commutative accumulators, exactly like
+// RunScanners — block boundaries and worker count never change what is
+// observed, only the order.
+func RunBlocks[A any](br *logfmt.BlockReader, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, BlockStats, error) {
+	return RunBlockSources([]*BlockSource{{R: br}}, n, newAcc, observe, merge)
+}
+
+// RunBlockSources reads every source concurrently — one reader goroutine
+// per source, all feeding the same n-worker parse pool — and merges the
+// per-worker accumulators. The returned error is the first failing
+// source's, in srcs order; within one source, the earliest failing line
+// wins, so strict-mode errors match a serial scan of that source.
+func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, BlockStats, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if len(srcs) == 0 {
+		return newAcc(), BlockStats{}, nil
+	}
+	if n == 1 && len(srcs) == 1 {
+		// Serial fast path, mirroring Run's: one source and one worker
+		// need no goroutines or channels at all.
+		src := srcs[0]
+		acc := newAcc()
+		var stats BlockStats
+		for {
+			blk, ok := src.R.Next()
+			if !ok {
+				break
+			}
+			res, err := logfmt.ParseBlock(blk, src.Strict, func(rec *logfmt.Record) {
+				observe(acc, rec)
+			})
+			blk.Release()
+			stats.Lines += uint64(res.Lines)
+			stats.Records += uint64(res.Records)
+			stats.Malformed += uint64(res.Malformed)
+			if err != nil {
+				return acc, stats, wrapPath(src.Path, err)
+			}
+		}
+		return acc, stats, wrapPath(src.Path, src.R.Err())
+	}
+
+	// Blocks are large; a small channel keeps memory bounded while the
+	// pool stays busy.
+	items := make(chan blockItem, n)
+	var stop atomic.Bool
+
+	readErrs := make([]error, len(srcs))
+	var readWG sync.WaitGroup
+	for i, src := range srcs {
+		readWG.Add(1)
+		go func(i int, src *BlockSource) {
+			defer readWG.Done()
+			for !stop.Load() {
+				blk, ok := src.R.Next()
+				if !ok {
+					break
+				}
+				items <- blockItem{src: i, blk: blk}
+			}
+			readErrs[i] = wrapPath(src.Path, src.R.Err())
+		}(i, src)
+	}
+
+	// Strict-mode first-error tracking: workers may hit malformed lines
+	// out of order, but blocks are dispatched in order per source, so the
+	// error in the lowest-FirstLine block of a source is that source's
+	// first bad line. Workers keep parsing already-dispatched blocks
+	// after stop is set — only the readers quit early — which guarantees
+	// every block preceding a reported error has been examined.
+	type parseFail struct {
+		firstLine int
+		err       error
+	}
+	fails := make([]parseFail, len(srcs))
+	var failMu sync.Mutex
+	var lines, records, malformed atomic.Uint64
+
+	ws := &workerSet[A]{accs: make([]A, n)}
+	for w := 0; w < n; w++ {
+		ws.wg.Add(1)
+		go func(w int) {
+			defer ws.wg.Done()
+			acc := newAcc()
+			for it := range items {
+				src := srcs[it.src]
+				res, err := logfmt.ParseBlock(it.blk, src.Strict, func(rec *logfmt.Record) {
+					observe(acc, rec)
+				})
+				firstLine := it.blk.FirstLine
+				it.blk.Release()
+				lines.Add(uint64(res.Lines))
+				records.Add(uint64(res.Records))
+				malformed.Add(uint64(res.Malformed))
+				if err != nil {
+					failMu.Lock()
+					if fails[it.src].err == nil || firstLine < fails[it.src].firstLine {
+						fails[it.src] = parseFail{firstLine, wrapPath(src.Path, err)}
+					}
+					failMu.Unlock()
+					stop.Store(true)
+				}
+			}
+			ws.accs[w] = acc
+		}(w)
+	}
+
+	readWG.Wait()
+	close(items)
+	out := drainWorkers(ws, merge)
+	stats := BlockStats{
+		Lines:     lines.Load(),
+		Records:   records.Load(),
+		Malformed: malformed.Load(),
+	}
+	for i := range srcs {
+		if fails[i].err != nil {
+			return out, stats, fails[i].err
+		}
+		if readErrs[i] != nil {
+			return out, stats, readErrs[i]
+		}
+	}
+	return out, stats, nil
+}
+
+// RunFilesBlocks opens each path (gzip-transparent, like OpenScanner) and
+// runs RunBlockSources with one block reader per file. This is the fast
+// bulk-scan entry point: both the per-file reads and all parsing run
+// concurrently.
+func RunFilesBlocks[A any](paths []string, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, BlockStats, error) {
+	srcs, closer, err := OpenBlockFiles(paths)
+	if err != nil {
+		var zero A
+		return zero, BlockStats{}, err
+	}
+	defer closer.Close()
+	return RunBlockSources(srcs, n, newAcc, observe, merge)
+}
+
+// OpenBlockFile opens one log file as a block source, transparently
+// decompressing gzip content under the same rules as OpenScanner. Close
+// the returned Closer when done.
+func OpenBlockFile(path string) (*BlockSource, io.Closer, error) {
+	r, closer, err := openReader(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &BlockSource{R: logfmt.NewBlockReader(r), Path: path}, closer, nil
+}
+
+// OpenBlockFiles opens every path with OpenBlockFile. On any error it
+// closes what it already opened and returns the error.
+func OpenBlockFiles(paths []string) ([]*BlockSource, io.Closer, error) {
+	srcs := make([]*BlockSource, 0, len(paths))
+	closers := make(multiCloser, 0, len(paths))
+	for _, path := range paths {
+		src, closer, err := OpenBlockFile(path)
+		if err != nil {
+			closers.Close()
+			return nil, nil, err
+		}
+		srcs = append(srcs, src)
+		closers = append(closers, closer)
+	}
+	return srcs, closers, nil
+}

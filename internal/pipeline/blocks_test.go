@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"syriafilter/internal/logfmt"
+)
+
+// blockFilesRun is RunFilesBlocks over the countAcc fixture.
+func blockFilesRun(t *testing.T, paths []string, workers int) (*countAcc, BlockStats, error) {
+	t.Helper()
+	return RunFilesBlocks(paths, workers, newCountAcc, observeCount, mergeCount)
+}
+
+// The block layer must agree with the scanner layer on a multi-file
+// corpus, for every worker count.
+func TestRunFilesBlocksMatchesScannerLayer(t *testing.T) {
+	dir := t.TempDir()
+	recs := makeRecords(20000)
+	var paths []string
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, "part-"+string(rune('a'+i))+".csv")
+		writeLogFile(t, path, recs[i*5000:(i+2)*5000], false)
+		paths = append(paths, path)
+	}
+
+	want, err := RunFiles(paths, 1, newCountAcc, observeCount, mergeCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, stats, err := blockFilesRun(t, paths, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.total != want.total || got.censored != want.censored {
+			t.Fatalf("workers=%d: totals %d/%d, want %d/%d",
+				workers, got.total, got.censored, want.total, want.censored)
+		}
+		for k, v := range want.hosts {
+			if got.hosts[k] != v {
+				t.Fatalf("workers=%d: host %s = %d, want %d", workers, k, got.hosts[k], v)
+			}
+		}
+		if stats.Records != want.total {
+			t.Fatalf("stats.Records = %d, want %d", stats.Records, want.total)
+		}
+		if stats.Malformed != 0 {
+			t.Fatalf("stats.Malformed = %d on a clean corpus", stats.Malformed)
+		}
+		// 3 files x (header + 10000 records).
+		if wantLines := uint64(3 * 10001); stats.Lines != wantLines {
+			t.Fatalf("stats.Lines = %d, want %d", stats.Lines, wantLines)
+		}
+	}
+}
+
+// Gzip files (suffixed or magic-sniffed) are transparent to the block
+// layer, like OpenScanner.
+func TestRunFilesBlocksGzipTransparent(t *testing.T) {
+	dir := t.TempDir()
+	recs := makeRecords(3000)
+	plain := filepath.Join(dir, "plain.csv")
+	writeLogFile(t, plain, recs, false)
+	gz := filepath.Join(dir, "zipped.csv.gz")
+	writeLogFile(t, gz, recs, true)
+	renamed := filepath.Join(dir, "renamed.csv") // gzip content, no suffix
+	writeLogFile(t, renamed, recs, true)
+
+	for _, path := range []string{plain, gz, renamed} {
+		got, stats, err := blockFilesRun(t, []string{path}, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got.total != uint64(len(recs)) || stats.Records != uint64(len(recs)) {
+			t.Fatalf("%s: got %d/%d records, want %d", path, got.total, stats.Records, len(recs))
+		}
+	}
+
+	// A .gz file with garbage content must fail loudly, not scan empty.
+	bad := filepath.Join(dir, "bad.csv.gz")
+	if err := os.WriteFile(bad, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := blockFilesRun(t, []string{plain, bad}, 2); err == nil {
+		t.Fatal("malformed gzip accepted")
+	} else if !strings.Contains(err.Error(), "bad.csv.gz") {
+		t.Fatalf("error %q does not name the bad file", err)
+	}
+}
+
+// Malformed lines are counted and skipped by default, and the damage
+// stays proportional (the vandalized lines only).
+func TestRunFilesBlocksMalformedCounting(t *testing.T) {
+	dir := t.TempDir()
+	recs := makeRecords(5000)
+	path := filepath.Join(dir, "corpus.csv")
+	writeLogFile(t, path, recs, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("garbage,line\nanother bad one\n")...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats, err := blockFilesRun(t, []string{path}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.total != uint64(len(recs)) {
+		t.Fatalf("total = %d, want %d", got.total, len(recs))
+	}
+	if stats.Malformed != 2 {
+		t.Fatalf("Malformed = %d, want 2", stats.Malformed)
+	}
+}
+
+// Strict mode reports the first malformed line of the failing source with
+// the same path-wrapped, line-numbered error the scanner layer produces —
+// regardless of worker count or which worker trips it.
+func TestRunBlockSourcesStrictMatchesScannerError(t *testing.T) {
+	dir := t.TempDir()
+	recs := makeRecords(8000)
+	path := filepath.Join(dir, "corpus.csv")
+	writeLogFile(t, path, recs, false)
+	rows, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(rows), "\n")
+	lines[4000] = "broken,record\n"
+	lines[6000] = "also,broken\n" // a later error that must not win
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scanner-layer reference error.
+	sc, closer, err := OpenScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.(*pathScanner).Scanner.(*logfmt.Reader).SetStrict(true)
+	for {
+		if _, ok := sc.Next(); !ok {
+			break
+		}
+	}
+	want := sc.Err()
+	closer.Close()
+	if want == nil {
+		t.Fatal("scanner accepted corrupt corpus")
+	}
+
+	for _, workers := range []int{1, 4} {
+		src, closer, err := OpenBlockFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Strict = true
+		_, _, gotErr := RunBlockSources([]*BlockSource{src}, workers, newCountAcc, observeCount, mergeCount)
+		closer.Close()
+		if gotErr == nil {
+			t.Fatalf("workers=%d: strict run accepted corrupt corpus", workers)
+		}
+		if gotErr.Error() != want.Error() {
+			t.Fatalf("workers=%d:\n got %q\nwant %q", workers, gotErr, want)
+		}
+		if !errors.Is(gotErr, logfmt.ErrFieldCount) {
+			t.Fatalf("workers=%d: error does not unwrap to ErrFieldCount: %v", workers, gotErr)
+		}
+	}
+}
+
+// An empty source list degenerates cleanly.
+func TestRunBlockSourcesEmpty(t *testing.T) {
+	acc, stats, err := RunBlockSources(nil, 4, newCountAcc, observeCount, mergeCount)
+	if err != nil || acc.total != 0 || stats != (BlockStats{}) {
+		t.Fatalf("empty run: acc=%+v stats=%+v err=%v", acc, stats, err)
+	}
+}
+
+// A missing file is an error before any work starts.
+func TestRunFilesBlocksMissingFile(t *testing.T) {
+	if _, _, err := blockFilesRun(t, []string{"/does/not/exist.csv"}, 2); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -11,16 +11,14 @@ import (
 	"syriafilter/internal/logfmt"
 )
 
-// OpenScanner opens one log file as a record Scanner, transparently
-// decompressing gzip content: a file is treated as gzip when its name
-// ends in ".gz" or its first two bytes carry the gzip magic (real Blue
-// Coat dumps ship gzipped, often without the suffix after renaming). A
-// ".gz" file without a valid gzip header is an error, not a silent
-// zero-record source. Errors from the returned Scanner are wrapped with
-// the path.
-//
-// Close the returned Closer when done with the Scanner.
-func OpenScanner(path string) (Scanner, io.Closer, error) {
+// openReader opens path as a byte stream, transparently decompressing
+// gzip content: a file is treated as gzip when its name ends in ".gz" or
+// its first two bytes carry the gzip magic (real Blue Coat dumps ship
+// gzipped, often without the suffix after renaming). A ".gz" file
+// without a valid gzip header is an error, not a silent zero-record
+// source. Shared by the Scanner layer (OpenScanner) and the block layer
+// (OpenBlockFile).
+func openReader(path string) (io.Reader, io.Closer, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -34,10 +32,22 @@ func OpenScanner(path string) (Scanner, io.Closer, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("pipeline: %s: %w", path, err)
 		}
-		return &pathScanner{Scanner: logfmt.NewReader(zr), path: path},
-			multiCloser{zr, f}, nil
+		return zr, multiCloser{zr, f}, nil
 	}
-	return &pathScanner{Scanner: logfmt.NewReader(br), path: path}, f, nil
+	return br, f, nil
+}
+
+// OpenScanner opens one log file as a record Scanner (gzip-transparent,
+// see openReader). Errors from the returned Scanner are wrapped with the
+// path.
+//
+// Close the returned Closer when done with the Scanner.
+func OpenScanner(path string) (Scanner, io.Closer, error) {
+	r, closer, err := openReader(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &pathScanner{Scanner: logfmt.NewReader(r), path: path}, closer, nil
 }
 
 // pathScanner adds path context to a file scanner's terminal error, so a
@@ -48,10 +58,16 @@ type pathScanner struct {
 }
 
 func (p *pathScanner) Err() error {
-	if err := p.Scanner.Err(); err != nil {
-		return fmt.Errorf("pipeline: %s: %w", p.path, err)
+	return wrapPath(p.path, p.Scanner.Err())
+}
+
+// wrapPath adds source context to a terminal error; nil errors and
+// anonymous sources pass through.
+func wrapPath(path string, err error) error {
+	if err == nil || path == "" {
+		return err
 	}
-	return nil
+	return fmt.Errorf("pipeline: %s: %w", path, err)
 }
 
 type multiCloser []io.Closer

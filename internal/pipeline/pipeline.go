@@ -4,12 +4,15 @@
 // end. Every accumulator in internal/stats and the core Engine/Analyzer
 // support Merge, so any analysis composes with this scheme.
 //
-// Two ingestion layers are provided. Run drains a single Scanner from the
-// calling goroutine. RunScanners adds per-file fan-out: one scanner
+// Three ingestion layers are provided. Run drains a single Scanner from
+// the calling goroutine. RunScanners adds per-file fan-out: one scanner
 // goroutine per source feeds the shared worker pool, so a multi-file
 // corpus is decoded in parallel instead of serially through a
 // MultiScanner. Both recycle batch buffers through a sync.Pool, keeping
-// steady-state allocation per batch near zero.
+// steady-state allocation per batch near zero. RunBlocks/RunFilesBlocks
+// (blocks.go) go further and move the line splitting and parsing itself
+// onto the worker pool: sources ship raw line-aligned byte blocks, so
+// even a single large file parses on every core.
 //
 // The design follows the same reasoning as gopacket's FastHash fan-out:
 // batches keep channel overhead amortized, and per-worker state avoids

@@ -165,9 +165,12 @@ func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind s
 
 // handleIngest accepts a batch of CSV log lines (the 26-field Blue Coat
 // format of internal/logfmt), transparently gunzipping when the body is
-// gzip (Content-Encoding header or magic bytes). Malformed lines are
-// counted and skipped, like the file reader. ?refresh=1 rebuilds the
-// snapshot after the batch so it is immediately queryable.
+// gzip (Content-Encoding header or magic bytes). The body is sliced into
+// line-aligned blocks and parsed on a worker pool (see Store.IngestBlocks),
+// so a large upload decodes on every core instead of the request
+// goroutine. Malformed lines are counted and skipped, like the file
+// reader. ?refresh=1 rebuilds the snapshot after the batch so it is
+// immediately queryable.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	br := bufio.NewReader(r.Body)
 	body := io.Reader(br)
@@ -182,13 +185,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		defer zr.Close()
 		body = zr
 	}
-	reader := logfmt.NewReader(body)
-	added, err := s.store.IngestScanner(reader)
+	added, malformed, err := s.store.IngestBlocks(logfmt.NewBlockReader(body), 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "ingest after %d records: %v", added, err)
 		return
 	}
-	resp := map[string]any{"added": added, "malformed": reader.Malformed()}
+	resp := map[string]any{"added": added, "malformed": malformed}
 	if r.URL.Query().Get("refresh") == "1" {
 		snap, err := s.store.Refresh()
 		if err != nil {

@@ -204,7 +204,8 @@ func (st *Store) Add(recs []logfmt.Record) uint64 {
 
 // IngestScanner drains sc into the store in pipeline.BatchSize chunks,
 // returning the number of records added and the scanner's terminal
-// error.
+// error. Parsing happens on the calling goroutine; prefer IngestBlocks /
+// IngestFiles, which spread it across a worker pool.
 func (st *Store) IngestScanner(sc pipeline.Scanner) (uint64, error) {
 	var added uint64
 	batch := make([]logfmt.Record, 0, pipeline.BatchSize)
@@ -221,6 +222,62 @@ func (st *Store) IngestScanner(sc pipeline.Scanner) (uint64, error) {
 	}
 	added += st.Add(batch)
 	return added, sc.Err()
+}
+
+// ingestAcc is the per-worker accumulator of the block ingest path: it
+// buffers parsed records and flushes them into the sharded store in
+// pipeline.BatchSize chunks. Field strings of buffered records alias the
+// block strings ParseBlock produced, which stay valid for good.
+type ingestAcc struct {
+	st    *Store
+	batch []logfmt.Record
+	added uint64
+}
+
+func (a *ingestAcc) observe(rec *logfmt.Record) {
+	a.batch = append(a.batch, *rec)
+	if len(a.batch) == pipeline.BatchSize {
+		a.flush()
+	}
+}
+
+func (a *ingestAcc) flush() {
+	if len(a.batch) > 0 {
+		a.added += a.st.Add(a.batch)
+		a.batch = a.batch[:0]
+	}
+}
+
+// IngestBlocks drains a block stream into the store with a parse worker
+// pool (workers <= 0 uses GOMAXPROCS): line splitting and parsing run
+// concurrently instead of on the calling goroutine, so a fat POST body
+// or log file no longer decodes on one core. Returns the records added,
+// the malformed lines skipped, and the stream's terminal error.
+func (st *Store) IngestBlocks(br *logfmt.BlockReader, workers int) (added, malformed uint64, err error) {
+	return st.ingestBlockSources([]*pipeline.BlockSource{{R: br}}, workers)
+}
+
+// IngestFiles block-ingests every path (gzip-transparent): one block
+// reader goroutine per file, all feeding the shared parse pool.
+func (st *Store) IngestFiles(paths []string, workers int) (added, malformed uint64, err error) {
+	srcs, closer, err := pipeline.OpenBlockFiles(paths)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer closer.Close()
+	return st.ingestBlockSources(srcs, workers)
+}
+
+func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (uint64, uint64, error) {
+	out, stats, err := pipeline.RunBlockSources(srcs, workers,
+		func() *ingestAcc {
+			return &ingestAcc{st: st, batch: make([]logfmt.Record, 0, pipeline.BatchSize)}
+		},
+		func(a *ingestAcc, rec *logfmt.Record) { a.observe(rec) },
+		func(dst, src *ingestAcc) { src.flush(); dst.added += src.added },
+	)
+	out.flush()
+	return out.added, stats.Malformed, err
 }
 
 // Current returns the latest published snapshot (never nil).
