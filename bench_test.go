@@ -11,6 +11,7 @@ package repro
 
 import (
 	"encoding/csv"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"syriafilter/internal/stats"
 	"syriafilter/internal/strmatch"
 	"syriafilter/internal/synth"
+	"syriafilter/internal/timewin"
 )
 
 const benchCorpusSize = 200_000
@@ -606,5 +608,53 @@ func BenchmarkAblationParseEncodingCSV(b *testing.B) {
 		if _, err := r.Read(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Range queries: merge-on-query cost vs bucket count ---
+
+// BenchmarkRangeQuery measures what a timewin full-range query costs as
+// the bucket ring grows: one transient engine construction plus one
+// Merge per covered bucket. The corpus is fixed; only the partition
+// width (and therefore the bucket count) varies, so the sub-benchmarks
+// expose the merge cost curve that sizes cmd/censord's -bucket flag.
+func BenchmarkRangeQuery(b *testing.B) {
+	f := fixture(b)
+	opt := core.Options{
+		Categories: f.gen.CategoryDB(),
+		Consensus:  f.gen.Consensus(),
+		TitleDB:    bittorrent.NewTitleDB(),
+	}
+	var lo, hi int64
+	for i := range f.records {
+		t := f.records[i].Time
+		if lo == 0 || t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	for _, nb := range []int{8, 64, 256} {
+		width := (hi - lo + int64(nb)) / int64(nb) // ceil: corpus spans <= nb buckets
+		p, err := timewin.New(timewin.Config{Options: opt, Bucket: time.Duration(width) * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range f.records {
+			p.Observe(&f.records[i])
+		}
+		b.Run(fmt.Sprintf("buckets=%d", p.Buckets()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst, err := core.NewEngine(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.RangeInto(dst, timewin.Window{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

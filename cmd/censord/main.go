@@ -22,7 +22,14 @@
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/tables/4
 //	curl localhost:8080/v1/figures/8?format=text
+//	curl 'localhost:8080/v1/range/table4?from=2011-08-01&to=2011-08-04'
+//	curl 'localhost:8080/v1/range/fig5?from=2011-08-01&to=2011-08-07&step=24h'
 //	curl -X POST --data-binary @more.csv localhost:8080/v1/ingest?refresh=1
+//
+// Ingested records are partitioned into -bucket wide time buckets (by
+// record time, see internal/timewin), which is what /v1/range merges on
+// demand; -retain bounds live memory by compacting old buckets into a
+// frozen all-time tail.
 package main
 
 import (
@@ -56,6 +63,8 @@ func main() {
 		exps       = flag.String("exp", "all", "comma-separated experiment ids to serve ('all' = every metric module)")
 		shards     = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS, capped at 16)")
 		snapEvery  = flag.Duration("snapshot-every", 2*time.Second, "background snapshot rebuild period (0 = only on demand)")
+		bucket     = flag.Duration("bucket", time.Hour, "time-partition bucket width for /v1/range queries")
+		retain     = flag.Duration("retain", 30*24*time.Hour, "retention horizon: buckets older than the newest record by more than this are compacted into the frozen all-time tail (0 = keep every bucket live)")
 	)
 	flag.Parse()
 
@@ -84,6 +93,8 @@ func main() {
 		Metrics:       metrics,
 		Shards:        *shards,
 		SnapshotEvery: *snapEvery,
+		Bucket:        *bucket,
+		Retain:        *retain,
 	})
 	if err != nil {
 		fatal(err)
@@ -123,7 +134,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(store, gen)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logf("serving on %s (%d shards, snapshot every %s)", *addr, store.Stats().Shards, *snapEvery)
+	logf("serving on %s (%d shards, %s buckets, retain %s, snapshot every %s)",
+		*addr, store.Stats().Shards, *bucket, *retain, *snapEvery)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -13,7 +13,13 @@
 //	censorlyzer -requests 1000000 -seed 1 -exp all
 //	censorlyzer -input sg42.csv,sg43.csv.gz -seed 1 -exp table4,fig8
 //	censorlyzer -exp table4 -json
+//	censorlyzer -exp fig5 -from 2011-08-01 -to 2011-08-04
 //	censorlyzer -list
+//
+// -from/-to (unix seconds, RFC3339 or 2006-01-02[THH:MM], half-open
+// [from, to)) restrict the analysis to records inside the window — the
+// same predicate cmd/censord's /v1/range endpoint evaluates, so a
+// bucket-aligned window produces byte-identical -json output.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"syriafilter/internal/proxysim"
 	"syriafilter/internal/render"
 	"syriafilter/internal/synth"
+	"syriafilter/internal/timewin"
 )
 
 func main() {
@@ -41,8 +48,15 @@ func main() {
 		workers  = flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document per experiment (the cmd/censord wire format)")
 		list     = flag.Bool("list", false, "print the experiment ids and the metric modules each resolves to, then exit")
+		fromF    = flag.String("from", "", "only analyze records at or after this time (unix seconds, RFC3339 or 2006-01-02[THH:MM])")
+		toF      = flag.String("to", "", "only analyze records before this time (exclusive, same formats)")
 	)
 	flag.Parse()
+
+	win, err := timewin.ParseWindow(*fromF, *toF)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		listExperiments(os.Stdout)
@@ -83,7 +97,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	an, err := analyze(gen, *input, *seed, *workers, metrics)
+	an, err := analyze(gen, *input, *seed, *workers, metrics, win)
 	if err != nil {
 		fatal(err)
 	}
@@ -139,8 +153,9 @@ func fatal(err error) {
 // metrics restricts the engine to a module subset (nil = all); input
 // files are block-ingested — line splitting and parsing spread across
 // the worker pool, not one decode goroutine per file — so even a single
-// large file scans on every core.
-func analyze(gen *synth.Generator, input string, seed uint64, workers int, metrics []string) (*core.Analyzer, error) {
+// large file scans on every core. Records outside win are skipped (the
+// zero window keeps everything).
+func analyze(gen *synth.Generator, input string, seed uint64, workers int, metrics []string, win timewin.Window) (*core.Analyzer, error) {
 	newAcc := func() *core.Analyzer {
 		a, err := core.NewAnalyzerFor(core.Options{
 			Categories: gen.CategoryDB(),
@@ -164,6 +179,9 @@ func analyze(gen *synth.Generator, input string, seed uint64, workers int, metri
 				break
 			}
 			cluster.Process(&req, &rec)
+			if !win.Contains(rec.Time) {
+				continue
+			}
 			an.Observe(&rec)
 		}
 		return an, nil
@@ -174,7 +192,11 @@ func analyze(gen *synth.Generator, input string, seed uint64, workers int, metri
 	}
 	an, stats, err := pipeline.RunFilesBlocks(paths, workers,
 		newAcc,
-		func(a *core.Analyzer, r *logfmt.Record) { a.Observe(r) },
+		func(a *core.Analyzer, r *logfmt.Record) {
+			if win.Contains(r.Time) {
+				a.Observe(r)
+			}
+		},
 		func(dst, src *core.Analyzer) { dst.Merge(src) },
 	)
 	if err != nil {

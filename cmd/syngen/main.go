@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/proxysim"
@@ -81,6 +82,11 @@ func main() {
 		}
 	}
 
+	// Track the corpus time span: the generator spreads record
+	// timestamps across the paper's Jul 22 – Aug 6 2011 capture window
+	// (deterministically per seed), which is what makes censord's
+	// /v1/range and censorlyzer -from/-to queries non-degenerate.
+	var minTime, maxTime int64
 	var rec logfmt.Record
 	for {
 		req, ok := gen.Next()
@@ -88,6 +94,12 @@ func main() {
 			break
 		}
 		cluster.Process(&req, &rec)
+		if minTime == 0 || rec.Time < minTime {
+			minTime = rec.Time
+		}
+		if rec.Time > maxTime {
+			maxTime = rec.Time
+		}
 		w := writers[0]
 		if w == nil {
 			w = writers[rec.Proxy()]
@@ -105,8 +117,15 @@ func main() {
 	}
 	if !*quiet {
 		c := cluster.Counts()
-		fmt.Printf("wrote %d records (seed %d): %.2f%% allowed, %.2f%% censored, %.2f%% errors, %.2f%% cached\n",
-			written, *seed,
+		span := ""
+		if written > 0 {
+			const layout = "2006-01-02 15:04"
+			span = fmt.Sprintf(" spanning %s .. %s UTC",
+				time.Unix(minTime, 0).UTC().Format(layout),
+				time.Unix(maxTime, 0).UTC().Format(layout))
+		}
+		fmt.Printf("wrote %d records (seed %d)%s: %.2f%% allowed, %.2f%% censored, %.2f%% errors, %.2f%% cached\n",
+			written, *seed, span,
 			pct(c.Allowed, c.Total), pct(c.Censored, c.Total),
 			pct(c.Errors, c.Total), pct(c.Proxied, c.Total))
 	}

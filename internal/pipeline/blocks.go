@@ -29,6 +29,9 @@ type BlockStats struct {
 	Records uint64
 	// Malformed is the number of skipped malformed lines.
 	Malformed uint64
+	// Bytes is the number of raw log bytes consumed (post-decompression
+	// for gzip sources), which is what throughput reporting divides by.
+	Bytes uint64
 }
 
 // BlockSource is one block stream plus its error-attribution context.
@@ -89,6 +92,7 @@ func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe
 			res, err := logfmt.ParseBlock(blk, src.Strict, func(rec *logfmt.Record) {
 				observe(acc, rec)
 			})
+			stats.Bytes += uint64(len(blk.Data))
 			blk.Release()
 			stats.Lines += uint64(res.Lines)
 			stats.Records += uint64(res.Records)
@@ -134,7 +138,7 @@ func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe
 	}
 	fails := make([]parseFail, len(srcs))
 	var failMu sync.Mutex
-	var lines, records, malformed atomic.Uint64
+	var lines, records, malformed, nbytes atomic.Uint64
 
 	ws := &workerSet[A]{accs: make([]A, n)}
 	for w := 0; w < n; w++ {
@@ -148,6 +152,7 @@ func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe
 					observe(acc, rec)
 				})
 				firstLine := it.blk.FirstLine
+				nbytes.Add(uint64(len(it.blk.Data)))
 				it.blk.Release()
 				lines.Add(uint64(res.Lines))
 				records.Add(uint64(res.Records))
@@ -172,6 +177,7 @@ func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe
 		Lines:     lines.Load(),
 		Records:   records.Load(),
 		Malformed: malformed.Load(),
+		Bytes:     nbytes.Load(),
 	}
 	for i := range srcs {
 		if fails[i].err != nil {

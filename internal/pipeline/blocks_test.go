@@ -56,6 +56,40 @@ func TestRunFilesBlocksMatchesScannerLayer(t *testing.T) {
 		if wantLines := uint64(3 * 10001); stats.Lines != wantLines {
 			t.Fatalf("stats.Lines = %d, want %d", stats.Lines, wantLines)
 		}
+		var wantBytes uint64
+		for _, path := range paths {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBytes += uint64(info.Size())
+		}
+		if stats.Bytes != wantBytes {
+			t.Fatalf("workers=%d: stats.Bytes = %d, want the %d on-disk bytes", workers, stats.Bytes, wantBytes)
+		}
+	}
+}
+
+// Gzip sources report decompressed bytes, which is what MB/s throughput
+// numbers should divide by.
+func TestBlockStatsBytesGzip(t *testing.T) {
+	dir := t.TempDir()
+	recs := makeRecords(2000)
+	plain := filepath.Join(dir, "plain.csv")
+	writeLogFile(t, plain, recs, false)
+	gz := filepath.Join(dir, "zipped.csv.gz")
+	writeLogFile(t, gz, recs, true)
+
+	_, plainStats, err := blockFilesRun(t, []string{plain}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gzStats, err := blockFilesRun(t, []string{gz}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainStats.Bytes == 0 || gzStats.Bytes != plainStats.Bytes {
+		t.Fatalf("gzip source counted %d bytes, want the %d decompressed bytes", gzStats.Bytes, plainStats.Bytes)
 	}
 }
 

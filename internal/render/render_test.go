@@ -1,7 +1,9 @@
 package render
 
 import (
+	"bytes"
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 
@@ -149,6 +151,56 @@ func TestKind(t *testing.T) {
 	} {
 		if got := Kind(id); got != want {
 			t.Errorf("Kind(%q) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+// The Series shape (windowed /v1/range responses) encodes one Doc per
+// sub-window with both unix and RFC3339 bounds, and renders as text.
+func TestSeriesJSONAndText(t *testing.T) {
+	an := core.NewAnalyzer(core.Options{})
+	doc, err := Render("table1", Context{An: an})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Series{
+		ID: "table1", Kind: "table", Title: Title("table1"), StepSeconds: 86400,
+		Windows: []SeriesWindow{
+			{FromUnix: 1312156800, ToUnix: 1312243200, Records: 7, Doc: doc},
+			{FromUnix: 1312243200, ToUnix: 1312329600, Records: 0, Doc: doc},
+		},
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID          string `json:"id"`
+		StepSeconds int64  `json:"step_seconds"`
+		Windows     []struct {
+			From     string          `json:"from"`
+			FromUnix int64           `json:"from_unix"`
+			Records  uint64          `json:"records"`
+			Doc      json.RawMessage `json:"doc"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "table1" || got.StepSeconds != 86400 || len(got.Windows) != 2 {
+		t.Fatalf("series round-trip lost shape: %s", b)
+	}
+	if got.Windows[0].From != "2011-08-01T00:00:00Z" || got.Windows[0].Records != 7 {
+		t.Errorf("window 0 = %+v", got.Windows[0])
+	}
+	wantDoc, _ := json.Marshal(doc)
+	if !bytes.Equal(got.Windows[0].Doc, wantDoc) {
+		t.Error("per-window doc encoding differs from the standalone Doc encoding")
+	}
+	text := s.Text()
+	for _, frag := range []string{"table1", "step 86400s, 2 windows", "2011-08-01T00:00:00Z", "Table 1"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("series text missing %q:\n%s", frag, text)
 		}
 	}
 }

@@ -1,0 +1,75 @@
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SeriesWindow is one step-sized sub-window of a Series: the window
+// bounds, the number of records its buckets covered, and the experiment
+// Doc rendered over exactly those buckets.
+type SeriesWindow struct {
+	FromUnix int64
+	ToUnix   int64
+	Records  uint64
+	Doc      *Doc
+}
+
+// Series is the windowed counterpart of Doc: one experiment rendered
+// per step-sized sub-window of a time range. cmd/censord's
+// GET /v1/range/{id}?step= endpoint serves it; the per-window Docs use
+// the same encoders as the all-time Doc, so a window's section is
+// byte-comparable with a batch run restricted to that window.
+type Series struct {
+	ID          string
+	Kind        string
+	Title       string
+	StepSeconds int64
+	Windows     []SeriesWindow
+}
+
+func fmtUTC(unix int64) string {
+	return time.Unix(unix, 0).UTC().Format(time.RFC3339)
+}
+
+// MarshalJSON encodes the series with RFC3339 window bounds alongside
+// the raw Unix seconds.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	type window struct {
+		From     string `json:"from"`
+		FromUnix int64  `json:"from_unix"`
+		To       string `json:"to"`
+		ToUnix   int64  `json:"to_unix"`
+		Records  uint64 `json:"records"`
+		Doc      *Doc   `json:"doc"`
+	}
+	wins := make([]window, len(s.Windows))
+	for i, w := range s.Windows {
+		wins[i] = window{
+			From: fmtUTC(w.FromUnix), FromUnix: w.FromUnix,
+			To: fmtUTC(w.ToUnix), ToUnix: w.ToUnix,
+			Records: w.Records, Doc: w.Doc,
+		}
+	}
+	return json.Marshal(struct {
+		ID          string   `json:"id"`
+		Kind        string   `json:"kind"`
+		Title       string   `json:"title"`
+		StepSeconds int64    `json:"step_seconds"`
+		Windows     []window `json:"windows"`
+	}{s.ID, s.Kind, s.Title, s.StepSeconds, wins})
+}
+
+// Text renders the series as terminal text: one headed block per window.
+func (s *Series) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s (step %ds, %d windows)\n",
+		s.ID, s.Title, s.StepSeconds, len(s.Windows))
+	for _, w := range s.Windows {
+		fmt.Fprintf(&sb, "\n== %s .. %s (%d records)\n\n", fmtUTC(w.FromUnix), fmtUTC(w.ToUnix), w.Records)
+		sb.WriteString(w.Doc.Text())
+	}
+	return sb.String()
+}

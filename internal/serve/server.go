@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/render"
 	"syriafilter/internal/synth"
+	"syriafilter/internal/timewin"
 )
 
 // Server is the HTTP query API over a Store:
@@ -24,6 +26,7 @@ import (
 //	GET  /v1/experiments/{id}         any experiment (table4, fig8, https, ...)
 //	GET  /v1/tables/{id}              tables only; "table4" or bare "4"
 //	GET  /v1/figures/{id}             figures only; "fig8" or bare "8"
+//	GET  /v1/range/{id}               any experiment over ?from&to (&step)
 //	POST /v1/ingest                   CSV log lines (gzip ok) into the store
 //	POST /v1/snapshot                 force a snapshot rebuild
 //
@@ -50,6 +53,7 @@ func NewServer(store *Store, gen *synth.Generator) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/range/{id}", s.handleRange)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	return s
@@ -126,6 +130,102 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		id = "fig" + id
 	}
 	s.serveDoc(w, r, id, "figure")
+}
+
+// handleRange is the windowed query endpoint. Without step it merges
+// every bucket the window covers into one transient engine and renders
+// the experiment Doc over it — for a window covering the whole corpus
+// the body is byte-identical to the all-time snapshot (and to
+// `censorlyzer -json`). With step it renders one Doc per step-sized
+// sub-window and returns a Series. Ranges that begin inside the
+// compacted retention tail answer 422 with the horizon.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if render.Title(id) == "" {
+		writeError(w, http.StatusNotFound, "render: unknown experiment id %q (known: %v)", id, render.Order())
+		return
+	}
+	q := r.URL.Query()
+	win, err := timewin.ParseWindow(q.Get("from"), q.Get("to"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if stepStr := q.Get("step"); stepStr != "" {
+		step, err := timewin.ParseStep(stepStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.serveRangeSeries(w, r, id, win, step)
+		return
+	}
+
+	an, cov, err := s.store.Range(win)
+	if err != nil {
+		s.writeRangeError(w, err)
+		return
+	}
+	doc, err := render.Render(id, render.Context{An: an, Gen: s.gen})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("X-Range-From", fmt.Sprint(cov.FromUnix))
+	w.Header().Set("X-Range-To", fmt.Sprint(cov.ToUnix))
+	w.Header().Set("X-Range-Records", fmt.Sprint(cov.Records))
+	// Bucket *merges* summed across shards — the query's cost, not the
+	// distinct-bucket layout (/v1/stats reports that).
+	w.Header().Set("X-Range-Buckets", fmt.Sprint(cov.Buckets))
+	if q.Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, doc.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) serveRangeSeries(w http.ResponseWriter, r *http.Request, id string, win timewin.Window, step int64) {
+	wins, err := s.store.RangeSeries(win, step)
+	if err != nil {
+		s.writeRangeError(w, err)
+		return
+	}
+	series := &render.Series{ID: id, Kind: render.Kind(id), Title: render.Title(id), StepSeconds: step}
+	for _, rw := range wins {
+		doc, err := render.Render(id, render.Context{An: rw.An, Gen: s.gen})
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		series.Windows = append(series.Windows, render.SeriesWindow{
+			FromUnix: rw.Window.From,
+			ToUnix:   rw.Window.To,
+			Records:  rw.Coverage.Records,
+			Doc:      doc,
+		})
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, series.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, series)
+}
+
+// writeRangeError maps range-query failures: retention violations are
+// 422 (the data exists only compacted), bad windows/steps are 400, a
+// closed store is 503.
+func (s *Server) writeRangeError(w http.ResponseWriter, err error) {
+	var re *timewin.RetentionError
+	switch {
+	case errors.As(err, &re):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
 }
 
 // serveDoc renders one experiment against the current (or, with

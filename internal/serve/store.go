@@ -4,16 +4,22 @@
 // evaluation over HTTP (see Server).
 //
 // Architecture: N hash-partitioned shards, each a single goroutine that
-// owns one core engine and drains a channel of record batches, so
-// ingestion is lock-free and never blocks queries. Snapshots are built
-// copy-on-swap: a fresh engine is merged through every shard — each
-// merge runs on the shard's own goroutine, between its batches, so
+// owns one timewin.Partition — a ring of per-time-bucket core engines
+// plus a frozen all-time tail — and drains a channel of record batches,
+// so ingestion is lock-free and never blocks queries. Snapshots are
+// built copy-on-swap: a fresh engine is merged through every shard —
+// each merge runs on the shard's own goroutine, between its batches, so
 // engines are never touched concurrently — and the result is atomically
 // swapped into place. Queries always read a consistent point-in-time
-// engine and never take a lock.
+// engine and never take a lock. Range queries (Store.Range,
+// Store.RangeSeries) reuse the same shard-op machinery to merge only the
+// buckets a time window covers into a transient engine.
 package serve
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,6 +29,7 @@ import (
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/stats"
+	"syriafilter/internal/timewin"
 )
 
 // Config configures a Store.
@@ -40,6 +47,13 @@ type Config struct {
 	// period. 0 disables the background builder: snapshots happen only
 	// through Refresh.
 	SnapshotEvery time.Duration
+	// Bucket is the time-partition width of every shard's bucket ring
+	// (see internal/timewin). <= 0 picks one hour.
+	Bucket time.Duration
+	// Retain is the retention horizon: buckets older than the newest
+	// bucket by more than this are compacted into the frozen all-time
+	// tail, bounding live memory. 0 keeps every bucket live.
+	Retain time.Duration
 }
 
 // Snapshot is one immutable point-in-time view of the store. Its
@@ -53,16 +67,26 @@ type Snapshot struct {
 	Records uint64
 	// Built is the snapshot's build time.
 	Built time.Time
+	// Timewin is the bucket layout (per-bucket record counts and the
+	// compacted tail span, aggregated across shards) at build time.
+	Timewin timewin.Meta
 }
 
-// Stats summarizes a Store for monitoring.
+// Stats summarizes a Store for monitoring. IngestedBytes and
+// IngestMBPerS only cover the block ingest paths (IngestBlocks,
+// IngestFiles, POST /v1/ingest); records delivered through Add or
+// IngestScanner have no byte representation to count. Timewin is the
+// bucket layout of the latest snapshot.
 type Stats struct {
-	Shards          int      `json:"shards"`
-	Metrics         []string `json:"metrics"`
-	Ingested        uint64   `json:"ingested"`
-	SnapshotSeq     uint64   `json:"snapshot_seq"`
-	SnapshotRecords uint64   `json:"snapshot_records"`
-	SnapshotBuilt   string   `json:"snapshot_built"`
+	Shards          int          `json:"shards"`
+	Metrics         []string     `json:"metrics"`
+	Ingested        uint64       `json:"ingested"`
+	SnapshotSeq     uint64       `json:"snapshot_seq"`
+	SnapshotRecords uint64       `json:"snapshot_records"`
+	SnapshotBuilt   string       `json:"snapshot_built"`
+	IngestedBytes   uint64       `json:"ingested_bytes"`
+	IngestMBPerS    float64      `json:"ingest_mb_per_s"`
+	Timewin         timewin.Meta `json:"timewin"`
 }
 
 // shardMsg is one unit of shard work: either a batch to observe or a
@@ -70,7 +94,7 @@ type Stats struct {
 // serialize with ingestion without any engine lock).
 type shardMsg struct {
 	batch []logfmt.Record
-	op    func(an *core.Analyzer, observed uint64)
+	op    func(p *timewin.Partition, observed uint64)
 	done  chan struct{}
 }
 
@@ -78,17 +102,17 @@ type shard struct {
 	msgs chan shardMsg
 }
 
-func (s *shard) loop(an *core.Analyzer, wg *sync.WaitGroup) {
+func (s *shard) loop(p *timewin.Partition, wg *sync.WaitGroup) {
 	defer wg.Done()
 	var observed uint64
 	for m := range s.msgs {
 		if m.op != nil {
-			m.op(an, observed)
+			m.op(p, observed)
 			close(m.done)
 			continue
 		}
 		for i := range m.batch {
-			an.Observe(&m.batch[i])
+			p.Observe(&m.batch[i])
 		}
 		observed += uint64(len(m.batch))
 	}
@@ -102,13 +126,17 @@ const shardQueue = 8
 // Store is the sharded live store. See the package comment for the
 // concurrency design.
 type Store struct {
-	cfg    Config
-	shards []*shard
+	cfg        Config
+	bucketSecs int64
+	shards     []*shard
 
 	snap      atomic.Pointer[Snapshot]
 	seq       atomic.Uint64
 	ingested  atomic.Uint64
 	refreshMu sync.Mutex // serializes snapshot builds
+
+	ingestedBytes atomic.Uint64 // raw log bytes through the block paths
+	ingestNanos   atomic.Int64  // wall time spent in block ingest calls
 
 	mu     sync.RWMutex // guards closed vs. in-flight sends
 	closed bool
@@ -127,26 +155,39 @@ func NewStore(cfg Config) (*Store, error) {
 			cfg.Shards = 16
 		}
 	}
-	st := &Store{cfg: cfg, stop: make(chan struct{})}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = time.Hour
+	}
+	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), stop: make(chan struct{})}
+	var retainBuckets int64
 	for i := 0; i < cfg.Shards; i++ {
-		an, err := core.NewAnalyzerFor(cfg.Options, cfg.Metrics...)
+		p, err := timewin.New(timewin.Config{
+			Options: cfg.Options,
+			Metrics: cfg.Metrics,
+			Bucket:  cfg.Bucket,
+			Retain:  cfg.Retain,
+		})
 		if err != nil {
 			for _, sh := range st.shards {
 				close(sh.msgs)
 			}
 			return nil, err
 		}
+		retainBuckets = p.RetainBuckets()
 		sh := &shard{msgs: make(chan shardMsg, shardQueue)}
 		st.shards = append(st.shards, sh)
 		st.wg.Add(1)
-		go sh.loop(an, &st.wg)
+		go sh.loop(p, &st.wg)
 	}
 	empty, err := core.NewAnalyzerFor(cfg.Options, cfg.Metrics...)
 	if err != nil {
 		st.Close()
 		return nil, err
 	}
-	st.snap.Store(&Snapshot{An: empty, Built: time.Now()})
+	st.snap.Store(&Snapshot{An: empty, Built: time.Now(), Timewin: timewin.Meta{
+		BucketSeconds: st.bucketSecs,
+		RetainBuckets: int(retainBuckets),
+	}})
 	if cfg.SnapshotEvery > 0 {
 		st.wg.Add(1)
 		go st.refreshLoop(cfg.SnapshotEvery)
@@ -269,6 +310,7 @@ func (st *Store) IngestFiles(paths []string, workers int) (added, malformed uint
 }
 
 func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (uint64, uint64, error) {
+	start := time.Now()
 	out, stats, err := pipeline.RunBlockSources(srcs, workers,
 		func() *ingestAcc {
 			return &ingestAcc{st: st, batch: make([]logfmt.Record, 0, pipeline.BatchSize)}
@@ -277,6 +319,8 @@ func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (
 		func(dst, src *ingestAcc) { src.flush(); dst.added += src.added },
 	)
 	out.flush()
+	st.ingestedBytes.Add(stats.Bytes)
+	st.ingestNanos.Add(int64(time.Since(start)))
 	return out.added, stats.Malformed, err
 }
 
@@ -303,10 +347,12 @@ func (st *Store) Refresh() (*Snapshot, error) {
 		return nil, err
 	}
 	var records uint64
+	var meta timewin.Meta
 	for _, sh := range st.shards {
 		done := make(chan struct{})
-		sh.msgs <- shardMsg{op: func(an *core.Analyzer, observed uint64) {
-			fresh.Merge(an)
+		sh.msgs <- shardMsg{op: func(p *timewin.Partition, observed uint64) {
+			p.AllInto(fresh.Engine)
+			timewin.MergeMeta(&meta, p.Meta())
 			records += observed
 		}, done: done}
 		<-done
@@ -317,9 +363,165 @@ func (st *Store) Refresh() (*Snapshot, error) {
 		Seq:     st.seq.Add(1),
 		Records: records,
 		Built:   time.Now(),
+		Timewin: meta,
 	}
 	st.snap.Store(snap)
 	return snap, nil
+}
+
+// ErrClosed is returned by range queries against a closed store (the
+// last published snapshot keeps serving all-time queries, but the shard
+// partitions that range queries merge from are gone).
+var ErrClosed = errors.New("serve: store is closed")
+
+// shardOps runs op on every shard goroutine, one shard at a time (each
+// op observes that shard's state at its current stream position, like
+// Refresh). Returns ErrClosed on a closed store.
+func (st *Store) shardOps(op func(p *timewin.Partition, observed uint64)) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return ErrClosed
+	}
+	for _, sh := range st.shards {
+		done := make(chan struct{})
+		sh.msgs <- shardMsg{op: op, done: done}
+		<-done
+	}
+	return nil
+}
+
+// Range merges every bucket the window covers — across all shards —
+// into a transient analyzer, the clone-and-Merge query primitive of
+// internal/timewin lifted to the sharded store. The zero window is the
+// exact all-time view (tail included); a window that begins inside the
+// compacted tail fails with *timewin.RetentionError.
+func (st *Store) Range(w timewin.Window) (*core.Analyzer, timewin.Coverage, error) {
+	fresh, err := core.NewAnalyzerFor(st.cfg.Options, st.cfg.Metrics...)
+	if err != nil {
+		return nil, timewin.Coverage{}, err
+	}
+	var cov timewin.Coverage
+	var rerr error
+	err = st.shardOps(func(p *timewin.Partition, _ uint64) {
+		c, err := p.RangeInto(fresh.Engine, w)
+		if err != nil {
+			if rerr == nil {
+				rerr = err
+			}
+			return
+		}
+		cov.Extend(c)
+	})
+	if err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return nil, cov, err
+	}
+	return fresh, cov, nil
+}
+
+// RangeWindow is one sub-window of a RangeSeries result.
+type RangeWindow struct {
+	Window   timewin.Window
+	Coverage timewin.Coverage
+	An       *core.Analyzer
+}
+
+// maxSeriesWindows bounds a single series query; each window costs one
+// transient engine per sub-window plus a merge per covered bucket.
+const maxSeriesWindows = 1024
+
+// RangeSeries splits [w.From, w.To) into step-sized sub-windows and
+// merges each one's buckets into its own transient analyzer, in a
+// single pass over the shards. step must be a positive multiple of the
+// bucket width so sub-windows align with bucket edges (an explicit From
+// is aligned down, an explicit To aligned up). Open bounds default to
+// the live ring: an open From starts at the oldest bucket live in
+// *every* shard (the compacted tail cannot be split into sub-windows),
+// an open To ends after the newest. An explicit From inside the tail
+// fails with *timewin.RetentionError.
+func (st *Store) RangeSeries(w timewin.Window, step int64) ([]RangeWindow, error) {
+	if step <= 0 || step%st.bucketSecs != 0 {
+		return nil, fmt.Errorf("serve: step must be a positive multiple of the bucket width (%ds)", st.bucketSecs)
+	}
+	meta, err := st.liveMeta()
+	if err != nil {
+		return nil, err
+	}
+	if len(meta.Buckets) == 0 {
+		return nil, nil
+	}
+	from := w.From
+	if from == 0 {
+		from = meta.Buckets[0].StartUnix
+		// Shard retention horizons can skew by a bucket mid-stream (a
+		// shard compacts only when *it* sees the newest bucket); start
+		// at the most advanced tail so no sub-window dips into any
+		// shard's compacted span. MergeMeta keeps the max tail end.
+		if meta.TailToUnix > from {
+			from = meta.TailToUnix
+		}
+	} else {
+		from -= ((from % st.bucketSecs) + st.bucketSecs) % st.bucketSecs // align down to a bucket edge
+	}
+	to := w.To
+	if to == 0 {
+		to = meta.Buckets[len(meta.Buckets)-1].StartUnix + st.bucketSecs
+	} else if rem := ((to % st.bucketSecs) + st.bucketSecs) % st.bucketSecs; rem != 0 {
+		to += st.bucketSecs - rem // align up: buckets are atomic, so the
+		// last window's reported bounds must include the whole bucket it merges
+	}
+	if to <= from {
+		return nil, fmt.Errorf("serve: empty range %s", timewin.Window{From: from, To: to})
+	}
+	if n := (to - from + step - 1) / step; n > maxSeriesWindows {
+		return nil, fmt.Errorf("serve: range %s at step %ds is %d windows (max %d); widen the step",
+			timewin.Window{From: w.From, To: w.To}, step, n, maxSeriesWindows)
+	}
+	var wins []RangeWindow
+	for s := from; s < to; s += step {
+		e := s + step
+		if e > to {
+			e = to
+		}
+		an, err := core.NewAnalyzerFor(st.cfg.Options, st.cfg.Metrics...)
+		if err != nil {
+			return nil, err
+		}
+		wins = append(wins, RangeWindow{Window: timewin.Window{From: s, To: e}, An: an})
+	}
+	var rerr error
+	err = st.shardOps(func(p *timewin.Partition, _ uint64) {
+		for i := range wins {
+			c, err := p.RangeInto(wins[i].An.Engine, wins[i].Window)
+			if err != nil {
+				if rerr == nil {
+					rerr = err
+				}
+				return
+			}
+			wins[i].Coverage.Extend(c)
+		}
+	})
+	if err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wins, nil
+}
+
+// liveMeta aggregates the current bucket layout across shards (the
+// snapshot's Timewin field is the same thing frozen at build time).
+func (st *Store) liveMeta() (timewin.Meta, error) {
+	var meta timewin.Meta
+	err := st.shardOps(func(p *timewin.Partition, _ uint64) {
+		timewin.MergeMeta(&meta, p.Meta())
+	})
+	return meta, err
 }
 
 // Stats reports store counters.
@@ -329,6 +531,14 @@ func (st *Store) Stats() Stats {
 	if metrics == nil {
 		metrics = core.AllMetrics()
 	}
+	bytes := st.ingestedBytes.Load()
+	var mbps float64
+	if nanos := st.ingestNanos.Load(); nanos > 0 {
+		// Cumulative busy-time throughput: bytes over the *summed* wall
+		// time of every block ingest call, so overlapping concurrent
+		// ingests report per-call, not aggregate, bandwidth.
+		mbps = math.Round(float64(bytes)/1e6/(float64(nanos)/1e9)*100) / 100
+	}
 	return Stats{
 		Shards:          len(st.shards),
 		Metrics:         metrics,
@@ -336,6 +546,9 @@ func (st *Store) Stats() Stats {
 		SnapshotSeq:     snap.Seq,
 		SnapshotRecords: snap.Records,
 		SnapshotBuilt:   snap.Built.UTC().Format(time.RFC3339),
+		IngestedBytes:   bytes,
+		IngestMBPerS:    mbps,
+		Timewin:         snap.Timewin,
 	}
 }
 

@@ -1,0 +1,463 @@
+// Package timewin partitions metric-engine state by time bucket, which
+// is what turns the all-time aggregate of internal/core into the paper's
+// temporal views: per-day censored/allowed volumes, policy shifts across
+// the Jul 22 – Aug 5 2011 capture, proxy outages.
+//
+// A Partition owns a ring of live per-bucket engines (one core.Engine per
+// bucket of the configured width) plus one frozen "tail" engine. Fold
+// routes each record to its bucket by Record.Time; when a retention
+// horizon is configured, buckets that fall behind the newest bucket by
+// more than the horizon are compacted — merged into the tail and freed —
+// so memory stays bounded by the horizon while all-time queries stay
+// exact (the tail plus the live ring is always the complete corpus).
+//
+// Range queries merge the covered buckets into a caller-provided engine
+// (clone-and-Merge, the same primitive behind internal/serve snapshots),
+// so a range covering the full capture renders byte-identically to a
+// batch run. A range that begins inside the compacted tail cannot be
+// answered exactly and returns *RetentionError.
+//
+// A Partition is not safe for concurrent use; internal/serve gives each
+// of its shard goroutines one Partition and serializes queries through
+// the shard's message channel.
+package timewin
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"syriafilter/internal/core"
+	"syriafilter/internal/logfmt"
+)
+
+// Window is a half-open time range [From, To) in Unix seconds. A zero
+// From or To leaves that side unbounded, so the zero Window matches
+// every record. The same predicate drives Partition range queries and
+// `censorlyzer -from/-to` batch filtering, which is what makes the two
+// paths agree.
+type Window struct {
+	From int64 // inclusive; 0 = unbounded
+	To   int64 // exclusive; 0 = unbounded
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t int64) bool {
+	return (w.From == 0 || t >= w.From) && (w.To == 0 || t < w.To)
+}
+
+// Overlaps reports whether the window intersects [from, to).
+func (w Window) Overlaps(from, to int64) bool {
+	return (w.To == 0 || from < w.To) && (w.From == 0 || to > w.From)
+}
+
+// Covers reports whether the window fully contains [from, to).
+func (w Window) Covers(from, to int64) bool {
+	return (w.From == 0 || w.From <= from) && (w.To == 0 || w.To >= to)
+}
+
+// IsZero reports whether the window is unbounded on both sides.
+func (w Window) IsZero() bool { return w.From == 0 && w.To == 0 }
+
+// String renders the window for log and error messages.
+func (w Window) String() string {
+	f, t := "-inf", "+inf"
+	if w.From != 0 {
+		f = time.Unix(w.From, 0).UTC().Format(time.RFC3339)
+	}
+	if w.To != 0 {
+		t = time.Unix(w.To, 0).UTC().Format(time.RFC3339)
+	}
+	return "[" + f + ", " + t + ")"
+}
+
+// ParseTime parses a window bound: Unix seconds, RFC3339, or the UTC
+// shorthands "2006-01-02T15:04[:05]" and "2006-01-02".
+func ParseTime(s string) (int64, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	for _, layout := range []string{
+		time.RFC3339, "2006-01-02T15:04:05", "2006-01-02T15:04", "2006-01-02",
+	} {
+		if t, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return t.Unix(), nil
+		}
+	}
+	return 0, fmt.Errorf("timewin: cannot parse time %q (want unix seconds, RFC3339, 2006-01-02T15:04 or 2006-01-02)", s)
+}
+
+// ParseWindow builds a Window from optional from/to strings (each in a
+// ParseTime format; "" leaves that side unbounded) and rejects empty
+// windows. Both cmd/censorlyzer's -from/-to flags and cmd/censord's
+// query parameters parse through here, so the two surfaces cannot
+// drift.
+func ParseWindow(from, to string) (Window, error) {
+	var w Window
+	var err error
+	if from != "" {
+		if w.From, err = ParseTime(from); err != nil {
+			return w, err
+		}
+	}
+	if to != "" {
+		if w.To, err = ParseTime(to); err != nil {
+			return w, err
+		}
+	}
+	if w.From != 0 && w.To != 0 && w.To <= w.From {
+		return w, fmt.Errorf("timewin: empty window %s", w)
+	}
+	return w, nil
+}
+
+// ParseStep parses a sub-window width: a Go duration ("2h", "30m") or
+// bare seconds.
+func ParseStep(s string) (int64, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("timewin: cannot parse step %q (want a duration like 2h or seconds)", s)
+	}
+	return int64(d / time.Second), nil
+}
+
+// RetentionError reports a range query that begins inside the compacted
+// tail: those buckets were merged away, so the range cannot be answered
+// exactly. HorizonUnix is the first instant still covered bucket-exactly
+// (query from >= horizon, or cover the whole corpus for the exact
+// all-time answer).
+type RetentionError struct {
+	HorizonUnix int64
+}
+
+func (e *RetentionError) Error() string {
+	return fmt.Sprintf("timewin: range begins before the retention horizon %s: older buckets are compacted into the all-time tail; start the range at or after the horizon, or cover the full corpus",
+		time.Unix(e.HorizonUnix, 0).UTC().Format(time.RFC3339))
+}
+
+// Config configures a Partition.
+type Config struct {
+	// Options configures every bucket engine (and the tail).
+	Options core.Options
+	// Metrics restricts buckets to a metric-module subset (nil = every
+	// module), exactly like serve.Config.Metrics.
+	Metrics []string
+	// Bucket is the partition width. Must be at least one second; widths
+	// are truncated to whole seconds.
+	Bucket time.Duration
+	// Retain is the retention horizon: live buckets older than the newest
+	// bucket by more than this are compacted into the tail. It is rounded
+	// up to a whole number of buckets. 0 keeps every bucket live forever.
+	Retain time.Duration
+}
+
+// BucketMeta describes one live bucket.
+type BucketMeta struct {
+	StartUnix int64  `json:"start_unix"`
+	Start     string `json:"start"`
+	Records   uint64 `json:"records"`
+}
+
+// Meta summarizes a Partition (or, after MergeMeta, a set of partitions
+// sharing one bucket grid) for monitoring and snapshot metadata.
+type Meta struct {
+	BucketSeconds int64        `json:"bucket_seconds"`
+	RetainBuckets int          `json:"retain_buckets,omitempty"`
+	Buckets       []BucketMeta `json:"buckets"`
+	TailRecords   uint64       `json:"tail_records"`
+	TailFromUnix  int64        `json:"tail_from_unix,omitempty"`
+	TailToUnix    int64        `json:"tail_to_unix,omitempty"`
+}
+
+// MergeMeta folds src into dst: per-bucket record counts are summed by
+// bucket start, the tail span is unioned. Both metas must share the same
+// bucket grid (internal/serve guarantees this: every shard partition is
+// built from one Config).
+func MergeMeta(dst *Meta, src Meta) {
+	if dst.BucketSeconds == 0 {
+		dst.BucketSeconds = src.BucketSeconds
+	}
+	if dst.RetainBuckets == 0 {
+		dst.RetainBuckets = src.RetainBuckets
+	}
+	dst.Buckets = append(dst.Buckets, src.Buckets...)
+	sort.Slice(dst.Buckets, func(i, j int) bool {
+		return dst.Buckets[i].StartUnix < dst.Buckets[j].StartUnix
+	})
+	out := dst.Buckets[:0]
+	for _, b := range dst.Buckets {
+		if n := len(out); n > 0 && out[n-1].StartUnix == b.StartUnix {
+			out[n-1].Records += b.Records
+			continue
+		}
+		out = append(out, b)
+	}
+	dst.Buckets = out
+	dst.TailRecords += src.TailRecords
+	if src.TailRecords > 0 {
+		if dst.TailFromUnix == 0 || src.TailFromUnix < dst.TailFromUnix {
+			dst.TailFromUnix = src.TailFromUnix
+		}
+		if src.TailToUnix > dst.TailToUnix {
+			dst.TailToUnix = src.TailToUnix
+		}
+	}
+}
+
+// Coverage reports what a range merge actually covered. Bucket spans are
+// atomic, so the effective [FromUnix, ToUnix) is the requested window
+// widened to bucket edges (and to the tail span when the tail was
+// merged). Buckets counts bucket *merges* — a cost measure — so an
+// aggregate over N shards counts each time bucket up to N times (the
+// distinct-bucket layout lives in Meta).
+type Coverage struct {
+	FromUnix int64  `json:"from_unix"`
+	ToUnix   int64  `json:"to_unix"`
+	Buckets  int    `json:"buckets"`
+	Records  uint64 `json:"records"`
+	Tail     bool   `json:"tail"`
+}
+
+// Extend unions o into c (used to aggregate per-shard coverages).
+func (c *Coverage) Extend(o Coverage) {
+	if o.Buckets == 0 && !o.Tail {
+		return
+	}
+	if c.Buckets == 0 && !c.Tail {
+		*c = o
+		return
+	}
+	if o.FromUnix < c.FromUnix {
+		c.FromUnix = o.FromUnix
+	}
+	if o.ToUnix > c.ToUnix {
+		c.ToUnix = o.ToUnix
+	}
+	c.Buckets += o.Buckets
+	c.Records += o.Records
+	c.Tail = c.Tail || o.Tail
+}
+
+type bucket struct {
+	eng     *core.Engine
+	records uint64
+}
+
+// Partition is the time-partitioned store: a ring of live bucket engines
+// plus the frozen tail. See the package comment for semantics.
+type Partition struct {
+	opt           core.Options
+	metrics       []string
+	bucketSecs    int64
+	retainBuckets int64
+
+	live  map[int64]*bucket
+	order []int64 // sorted live bucket indices
+
+	tail             *core.Engine
+	tailRecords      uint64
+	tailMin, tailMax int64 // bucket-index span covered by the tail
+
+	spare *core.Engine // validated engine from New, consumed by the first bucket
+}
+
+// New builds an empty partition. The engine construction also validates
+// Metrics, so later bucket creation cannot fail.
+func New(cfg Config) (*Partition, error) {
+	secs := int64(cfg.Bucket / time.Second)
+	if secs < 1 {
+		return nil, fmt.Errorf("timewin: bucket width %v is below one second", cfg.Bucket)
+	}
+	var retain int64
+	if cfg.Retain > 0 {
+		retain = (int64(cfg.Retain/time.Second) + secs - 1) / secs
+		if retain < 1 {
+			retain = 1
+		}
+	}
+	spare, err := core.NewEngine(cfg.Options, cfg.Metrics...)
+	if err != nil {
+		return nil, err
+	}
+	return &Partition{
+		opt:           cfg.Options,
+		metrics:       cfg.Metrics,
+		bucketSecs:    secs,
+		retainBuckets: retain,
+		live:          map[int64]*bucket{},
+		spare:         spare,
+	}, nil
+}
+
+// BucketSeconds returns the partition width in seconds.
+func (p *Partition) BucketSeconds() int64 { return p.bucketSecs }
+
+// RetainBuckets returns the retention horizon in buckets (0 = unlimited).
+func (p *Partition) RetainBuckets() int64 { return p.retainBuckets }
+
+func (p *Partition) newEngine() *core.Engine {
+	if e := p.spare; e != nil {
+		p.spare = nil
+		return e
+	}
+	e, err := core.NewEngine(p.opt, p.metrics...)
+	if err != nil {
+		// Unreachable: New validated the module names.
+		panic("timewin: " + err.Error())
+	}
+	return e
+}
+
+// floorDiv is floor division (bucket indices must round toward -inf so a
+// record exactly on a bucket edge always lands in the later bucket).
+func floorDiv(t, w int64) int64 {
+	q := t / w
+	if t%w != 0 && (t < 0) != (w < 0) {
+		q--
+	}
+	return q
+}
+
+// Observe folds one record into its time bucket. A record at exactly a
+// bucket edge lands in the bucket that starts there. Records at or below
+// the compaction horizon fold into the tail, so late arrivals keep the
+// all-time view exact instead of resurrecting freed buckets.
+func (p *Partition) Observe(rec *logfmt.Record) {
+	idx := floorDiv(rec.Time, p.bucketSecs)
+	if p.tail != nil && idx <= p.tailMax {
+		p.tail.Observe(rec)
+		p.tailRecords++
+		if idx < p.tailMin {
+			p.tailMin = idx
+		}
+		return
+	}
+	b := p.live[idx]
+	if b == nil {
+		b = &bucket{eng: p.newEngine()}
+		p.live[idx] = b
+		p.insertIdx(idx)
+	}
+	b.eng.Observe(rec)
+	b.records++
+	p.compact()
+}
+
+func (p *Partition) insertIdx(idx int64) {
+	i := sort.Search(len(p.order), func(i int) bool { return p.order[i] >= idx })
+	p.order = append(p.order, 0)
+	copy(p.order[i+1:], p.order[i:])
+	p.order[i] = idx
+}
+
+// compact merges every live bucket behind the retention horizon into the
+// tail. The horizon trails the newest bucket by data time (not wall
+// clock), which keeps historical corpora — the 2011 capture — behaving
+// exactly like a live stream.
+func (p *Partition) compact() {
+	if p.retainBuckets <= 0 || len(p.order) == 0 {
+		return
+	}
+	horizon := p.order[len(p.order)-1] - p.retainBuckets + 1
+	for len(p.order) > 0 && p.order[0] < horizon {
+		idx := p.order[0]
+		b := p.live[idx]
+		if p.tail == nil {
+			p.tail = p.newEngine()
+			p.tailMin, p.tailMax = idx, idx
+		}
+		p.tail.Merge(b.eng)
+		p.tailRecords += b.records
+		if idx < p.tailMin {
+			p.tailMin = idx
+		}
+		if idx > p.tailMax {
+			p.tailMax = idx
+		}
+		delete(p.live, idx)
+		p.order = p.order[1:]
+	}
+}
+
+// Buckets returns the number of live buckets.
+func (p *Partition) Buckets() int { return len(p.order) }
+
+// Records returns the total records folded (tail plus live buckets).
+func (p *Partition) Records() uint64 {
+	n := p.tailRecords
+	for _, idx := range p.order {
+		n += p.live[idx].records
+	}
+	return n
+}
+
+// Meta snapshots the partition's bucket layout.
+func (p *Partition) Meta() Meta {
+	m := Meta{
+		BucketSeconds: p.bucketSecs,
+		RetainBuckets: int(p.retainBuckets),
+		TailRecords:   p.tailRecords,
+	}
+	for _, idx := range p.order {
+		start := idx * p.bucketSecs
+		m.Buckets = append(m.Buckets, BucketMeta{
+			StartUnix: start,
+			Start:     time.Unix(start, 0).UTC().Format(time.RFC3339),
+			Records:   p.live[idx].records,
+		})
+	}
+	if p.tail != nil && p.tailRecords > 0 {
+		m.TailFromUnix = p.tailMin * p.bucketSecs
+		m.TailToUnix = (p.tailMax + 1) * p.bucketSecs
+	}
+	return m
+}
+
+// AllInto merges the complete partition — tail first, then every live
+// bucket in time order — into dst, which must share the partition's
+// module set and Options. This is the all-time snapshot primitive: its
+// result is merge-equivalent to a batch run over the same records.
+func (p *Partition) AllInto(dst *core.Engine) {
+	if p.tail != nil {
+		dst.Merge(p.tail)
+	}
+	for _, idx := range p.order {
+		dst.Merge(p.live[idx].eng)
+	}
+}
+
+// RangeInto merges every bucket overlapping w into dst and reports what
+// was covered. Buckets are atomic: any bucket the window touches is
+// merged whole, and the coverage reports the widened effective span. The
+// tail is merged only when the window fully covers its span; a window
+// that begins inside the tail returns *RetentionError before anything is
+// merged, so dst is untouched on error.
+func (p *Partition) RangeInto(dst *core.Engine, w Window) (Coverage, error) {
+	var cov Coverage
+	if p.tail != nil && p.tailRecords > 0 {
+		tailFrom := p.tailMin * p.bucketSecs
+		tailTo := (p.tailMax + 1) * p.bucketSecs
+		if w.Overlaps(tailFrom, tailTo) {
+			if !w.Covers(tailFrom, tailTo) {
+				return cov, &RetentionError{HorizonUnix: tailTo}
+			}
+			dst.Merge(p.tail)
+			cov.Extend(Coverage{FromUnix: tailFrom, ToUnix: tailTo, Records: p.tailRecords, Tail: true})
+		}
+	}
+	for _, idx := range p.order {
+		from := idx * p.bucketSecs
+		to := from + p.bucketSecs
+		if !w.Overlaps(from, to) {
+			continue
+		}
+		b := p.live[idx]
+		dst.Merge(b.eng)
+		cov.Extend(Coverage{FromUnix: from, ToUnix: to, Buckets: 1, Records: b.records})
+	}
+	return cov, nil
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Smoke test for cmd/censord: synthesize a corpus with cmd/syngen (one
-# file gzipped to exercise transparent decompression), boot the daemon on
-# it, poll /healthz, and diff the JSON of one table and one figure
-# endpoint against `censorlyzer -json` over the same corpus — the two
-# front ends must be byte-identical.
+# file gzipped to exercise transparent decompression; the generator
+# spreads record timestamps across the paper's capture window, so
+# temporal queries are non-degenerate), boot the daemon on it, poll
+# /healthz, and diff the JSON of one table and one figure endpoint —
+# plus /v1/range over the full window and a bucket-aligned sub-window —
+# against `censorlyzer -json` over the same corpus — the two front ends
+# must be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,9 +34,14 @@ inputs=$(ls "$tmp"/logs/* | paste -sd, -)
   -exp table4 -json > "$tmp/batch-table4.json"
 "$tmp/censorlyzer" -input "$inputs" -seed "$SEED" -requests "$REQUESTS" \
   -exp fig7 -json > "$tmp/batch-fig7.json"
+# Bucket-aligned sub-window: the -from/-to record predicate must agree
+# with the daemon's bucket merge over the same bounds.
+SUBFROM=2011-08-03 SUBTO=2011-08-05
+"$tmp/censorlyzer" -input "$inputs" -seed "$SEED" -requests "$REQUESTS" \
+  -exp table4 -json -from "$SUBFROM" -to "$SUBTO" > "$tmp/batch-table4-sub.json"
 
 "$tmp/censord" -addr "$ADDR" -input "$inputs" -seed "$SEED" -requests "$REQUESTS" \
-  -snapshot-every 0 &
+  -bucket 1h -snapshot-every 0 &
 pid=$!
 
 for i in $(seq 1 50); do
@@ -54,6 +62,19 @@ curl -sf "http://$ADDR/v1/figures/7"     > "$tmp/live-fig7.json"
 
 diff "$tmp/batch-table4.json" "$tmp/live-table4.json"
 diff "$tmp/batch-fig7.json" "$tmp/live-fig7.json"
+
+# Range queries: the full (open) window is byte-identical to the batch
+# run; a bucket-aligned sub-window matches the -from/-to batch run; a
+# step query returns one doc per day window.
+curl -sf "http://$ADDR/v1/range/table4" > "$tmp/range-table4.json"
+diff "$tmp/batch-table4.json" "$tmp/range-table4.json"
+curl -sf "http://$ADDR/v1/range/table4?from=$SUBFROM&to=$SUBTO" > "$tmp/range-table4-sub.json"
+diff "$tmp/batch-table4-sub.json" "$tmp/range-table4-sub.json"
+curl -sf "http://$ADDR/v1/range/table1?step=24h" > "$tmp/series.json"
+grep -q '"step_seconds":86400' "$tmp/series.json" || { echo "smoke: bad series: $(head -c 200 "$tmp/series.json")" >&2; exit 1; }
+windows=$(grep -o '"from_unix"' "$tmp/series.json" | wc -l)
+[ "$windows" -ge 2 ] || { echo "smoke: series has $windows windows, want >= 2" >&2; exit 1; }
+curl -sf "http://$ADDR/v1/stats" | grep -q '"ingested_bytes":[1-9]' || { echo "smoke: /v1/stats missing ingested_bytes" >&2; exit 1; }
 
 # The ingest endpoint accepts a live batch and the snapshot moves.
 before=$(curl -sf "http://$ADDR/v1/stats" | sed 's/.*"ingested"://;s/,.*//')
