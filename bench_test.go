@@ -3,7 +3,7 @@ package repro
 // The benchmark harness: one benchmark per paper table and figure (the
 // cost of regenerating that artifact from an analyzed corpus), the
 // end-to-end stages (generate -> filter -> analyze), and the ablations
-// called out in DESIGN.md §5.
+// called out in DESIGN.md §8.
 //
 // Run everything with:
 //
@@ -476,7 +476,7 @@ func BenchmarkGoogleCache(b *testing.B) {
 	})
 }
 
-// --- Ablations (DESIGN.md §5) ---
+// --- Ablations (DESIGN.md §8) ---
 
 var ablationText = "www.facebook.com/plugins/like.php?href=http%3A%2F%2Fsite-042.example.com&layout=standard&app_id=123456"
 
@@ -656,5 +656,45 @@ func BenchmarkRangeQuery(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCheckpointRoundTrip measures the state codec on a full
+// analyzed engine: encode + decode of every metric module's state (the
+// per-shard work of a serve.Store checkpoint/restore cycle, before
+// gzip). SetBytes is the encoded state size, so ns/op converts to
+// codec MB/s in BENCH_core.json.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	f := fixture(b)
+	state := f.analyzer.MarshalState()
+	opt := core.Options{
+		Categories: f.gen.CategoryDB(),
+		Consensus:  f.gen.Consensus(),
+		TitleDB:    bittorrent.NewTitleDB(),
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := f.analyzer.MarshalState()
+		restored := core.NewAnalyzer(opt)
+		if err := restored.UnmarshalState(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointEncode isolates the write half (what a periodic
+// checkpoint costs the shard goroutine, before gzip).
+func BenchmarkCheckpointEncode(b *testing.B) {
+	f := fixture(b)
+	state := f.analyzer.MarshalState()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.analyzer.MarshalState()) == 0 {
+			b.Fatal("empty state")
+		}
 	}
 }

@@ -30,6 +30,18 @@
 // record time, see internal/timewin), which is what /v1/range merges on
 // demand; -retain bounds live memory by compacting old buckets into a
 // frozen all-time tail.
+//
+// With -checkpoint the daemon survives restarts warm: it restores the
+// last good checkpoint at boot (cold-booting with a logged warning if
+// the checkpoint is missing or damaged), checkpoints every
+// -checkpoint-every while serving, and cuts a final checkpoint on
+// graceful shutdown after flushing every acknowledged ingest batch. On
+// a warm restart do not re-pass the -input files the checkpoint already
+// covers — state is additive:
+//
+//	censord -addr :8080 -input logs/... -seed 1 -checkpoint /var/lib/censord
+//	# later, after a restart:
+//	censord -addr :8080 -seed 1 -checkpoint /var/lib/censord
 package main
 
 import (
@@ -65,6 +77,8 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-every", 2*time.Second, "background snapshot rebuild period (0 = only on demand)")
 		bucket     = flag.Duration("bucket", time.Hour, "time-partition bucket width for /v1/range queries")
 		retain     = flag.Duration("retain", 30*24*time.Hour, "retention horizon: buckets older than the newest record by more than this are compacted into the frozen all-time tail (0 = keep every bucket live)")
+		ckptDir    = flag.String("checkpoint", "", "checkpoint directory: restore state from it at boot (warm restart), checkpoint into it periodically and on graceful shutdown")
+		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Minute, "periodic checkpoint interval when -checkpoint is set (0 = only on shutdown)")
 	)
 	flag.Parse()
 
@@ -100,6 +114,23 @@ func main() {
 		fatal(err)
 	}
 
+	// Warm restart: fold the last good checkpoint back in before any
+	// boot-time ingest. A missing manifest is a normal cold boot; a
+	// damaged checkpoint is logged and ignored (cold boot) rather than
+	// fatal — the daemon's job is to come back up.
+	if *ckptDir != "" {
+		switch info, err := store.Restore(*ckptDir); {
+		case err == nil:
+			logf("checkpoint: restored %d records from %s/%s (created %s)",
+				info.Records, *ckptDir, info.Generation,
+				time.Unix(info.CreatedUnix, 0).UTC().Format(time.RFC3339))
+		case errors.Is(err, serve.ErrNoCheckpoint):
+			logf("checkpoint: none in %s, cold boot", *ckptDir)
+		default:
+			logf("checkpoint: WARNING: restore failed (%v); cold boot", err)
+		}
+	}
+
 	seen := map[string]bool{}
 	if *input != "" {
 		var paths []string
@@ -130,6 +161,14 @@ func main() {
 		}()
 		logf("watching %s every %s", *watch, *watchEvery)
 	}
+	if *ckptDir != "" && *ckptEvery > 0 {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			checkpointLoop(store, *ckptDir, *ckptEvery, stopWatch)
+		}()
+		logf("checkpointing into %s every %s", *ckptDir, *ckptEvery)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(store, gen)}
 	errc := make(chan error, 1)
@@ -152,7 +191,39 @@ func main() {
 	}
 	close(stopWatch)
 	watchWG.Wait()
-	store.Close()
+	if *ckptDir != "" {
+		// Final checkpoint: the store flushes every acked batch before
+		// cutting it, so a graceful shutdown persists everything
+		// POST /v1/ingest acknowledged.
+		info, err := store.CloseAndCheckpoint(*ckptDir)
+		if err != nil {
+			logf("checkpoint: WARNING: final checkpoint failed: %v", err)
+		} else {
+			logf("checkpoint: wrote %s (%d records, %d bytes)", info.Generation, info.Records, info.Bytes)
+		}
+	} else {
+		store.Close()
+	}
+}
+
+// checkpointLoop cuts a checkpoint every interval until stop closes
+// (the final shutdown checkpoint is CloseAndCheckpoint's job).
+func checkpointLoop(store *serve.Store, dir string, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			info, err := store.Checkpoint(dir)
+			if err != nil {
+				logf("checkpoint: %v", err)
+				continue
+			}
+			logf("checkpoint: wrote %s (%d records, %d bytes)", info.Generation, info.Records, info.Bytes)
+		}
+	}
 }
 
 // ingestFiles feeds the paths into the store through the block-parallel

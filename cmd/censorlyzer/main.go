@@ -20,13 +20,28 @@
 // [from, to)) restrict the analysis to records inside the window — the
 // same predicate cmd/censord's /v1/range endpoint evaluates, so a
 // bucket-aligned window produces byte-identical -json output.
+//
+// -save-state/-load-state make batch runs incremental: -save-state
+// writes the analyzed engine state (gzip-framed, crash-safe via
+// temp-file + rename) after the run, and -load-state folds a previously
+// saved state in before rendering — so tonight's logs extend
+// yesterday's results without re-reading yesterday's corpus:
+//
+//	censorlyzer -input day1.csv -seed 1 -save-state state.ckpt.gz
+//	censorlyzer -input day2.csv -seed 1 -load-state state.ckpt.gz -save-state state.ckpt.gz
+//
+// The loaded state must come from a run with the same -seed (the
+// derived databases are configuration, not state) and a module subset
+// covering this run's -exp selection.
 package main
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"syriafilter/internal/bittorrent"
@@ -50,6 +65,8 @@ func main() {
 		list     = flag.Bool("list", false, "print the experiment ids and the metric modules each resolves to, then exit")
 		fromF    = flag.String("from", "", "only analyze records at or after this time (unix seconds, RFC3339 or 2006-01-02[THH:MM])")
 		toF      = flag.String("to", "", "only analyze records before this time (exclusive, same formats)")
+		loadF    = flag.String("load-state", "", "fold a previously saved engine state in before rendering (incremental runs)")
+		saveF    = flag.String("save-state", "", "write the final engine state to this file (gzip; temp-file + rename)")
 	)
 	flag.Parse()
 
@@ -102,6 +119,26 @@ func main() {
 		fatal(err)
 	}
 
+	if *loadF != "" {
+		// Fold the saved state in through a fresh same-subset analyzer:
+		// UnmarshalState replaces state, Merge accumulates it.
+		loaded, err := core.NewAnalyzerFor(analyzerOptions(gen), metrics...)
+		if err != nil {
+			fatal(err)
+		}
+		if err := readStateFile(*loadF, loaded.Engine); err != nil {
+			fatal(err)
+		}
+		loaded.Merge(an)
+		an = loaded
+	}
+	if *saveF != "" {
+		if err := writeStateFile(*saveF, an.Engine); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "censorlyzer: saved engine state to %s\n", *saveF)
+	}
+
 	cx := render.Context{An: an, Gen: gen}
 	enc := json.NewEncoder(os.Stdout)
 	ran := 0
@@ -149,6 +186,57 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// analyzerOptions derives the engine configuration from the generator;
+// saved state carries accumulated counts only, so -load-state requires
+// the same configuration (same -seed) to be meaningful.
+func analyzerOptions(gen *synth.Generator) core.Options {
+	return core.Options{
+		Categories: gen.CategoryDB(),
+		Consensus:  gen.Consensus(),
+		TitleDB:    bittorrent.NewTitleDB(),
+	}
+}
+
+// readStateFile loads an engine state written by writeStateFile
+// (gzip-transparent via pipeline.OpenReader, so a raw state stream also
+// loads).
+func readStateFile(path string, e *core.Engine) error {
+	r, closer, err := pipeline.OpenReader(path)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	if err := e.ReadState(r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// writeStateFile writes the engine state gzip-framed, via temp-file +
+// rename so an interrupted run never clobbers the previous state.
+func writeStateFile(path string, e *core.Engine) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	zw := gzip.NewWriter(tmp)
+	err = e.WriteState(zw)
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if serr := tmp.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // analyze builds the Analyzer from files or by synthesizing the corpus.
 // metrics restricts the engine to a module subset (nil = all); input
 // files are block-ingested — line splitting and parsing spread across
@@ -157,11 +245,7 @@ func fatal(err error) {
 // zero window keeps everything).
 func analyze(gen *synth.Generator, input string, seed uint64, workers int, metrics []string, win timewin.Window) (*core.Analyzer, error) {
 	newAcc := func() *core.Analyzer {
-		a, err := core.NewAnalyzerFor(core.Options{
-			Categories: gen.CategoryDB(),
-			Consensus:  gen.Consensus(),
-			TitleDB:    bittorrent.NewTitleDB(),
-		}, metrics...)
+		a, err := core.NewAnalyzerFor(analyzerOptions(gen), metrics...)
 		if err != nil {
 			fatal(err)
 		}

@@ -27,7 +27,7 @@ var (
 	fix     *fixture
 )
 
-func corpus(t *testing.T) *fixture {
+func corpus(t testing.TB) *fixture {
 	t.Helper()
 	fixOnce.Do(func() {
 		gen, err := synth.New(synth.Config{Seed: 42, TotalRequests: 300000})

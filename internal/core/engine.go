@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 	"syriafilter/internal/urlx"
 )
@@ -24,6 +25,17 @@ type Metric interface {
 	// Merge folds another instance of the same module into this one.
 	// Implementations may assume other has the same dynamic type.
 	Merge(other Metric)
+	// EncodeState serializes the module's accumulated state. The
+	// encoding must be deterministic (map iteration sorted) and lead
+	// with a module version byte, so a checkpoint re-encodes
+	// byte-identically and a future layout change can migrate old
+	// state. Configuration reached through the engine's Options is not
+	// state and is not written.
+	EncodeState(w *statecodec.Writer)
+	// DecodeState replaces the module's state with one previously
+	// written by EncodeState (any accumulated state is discarded, not
+	// merged). Failures are reported through the reader's sticky error.
+	DecodeState(r *statecodec.Reader)
 }
 
 // recordCtx caches per-record derived values shared across modules, so

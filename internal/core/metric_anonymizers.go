@@ -2,6 +2,7 @@ package core
 
 import (
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 )
 
@@ -41,4 +42,16 @@ func (m *anonymizersMetric) Merge(other Metric) {
 	o := other.(*anonymizersMetric)
 	m.allowed.Merge(o.allowed)
 	m.censored.Merge(o.censored)
+}
+
+func (m *anonymizersMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encCounter(w, m.allowed)
+	encCounter(w, m.censored)
+}
+
+func (m *anonymizersMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "anonymizers", 1)
+	m.allowed = decCounter(r)
+	m.censored = decCounter(r)
 }

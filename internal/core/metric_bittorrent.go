@@ -3,6 +3,7 @@ package core
 import (
 	"syriafilter/internal/bittorrent"
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 )
 
@@ -56,4 +57,22 @@ func (m *bittorrentMetric) Merge(other Metric) {
 		m.hashes[k] = struct{}{}
 	}
 	m.trackers.Merge(o.trackers)
+}
+
+func (m *bittorrentMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(m.total)
+	w.Uvarint(m.censored)
+	encHashSet(w, m.peers)
+	encHashSet(w, m.hashes)
+	encCounter(w, m.trackers)
+}
+
+func (m *bittorrentMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "bittorrent", 1)
+	m.total = r.Uvarint()
+	m.censored = r.Uvarint()
+	m.peers = decHashSet(r)
+	m.hashes = decHashSet(r)
+	m.trackers = decCounter(r)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 )
 
@@ -44,4 +45,16 @@ func (m *categoriesMetric) Merge(other Metric) {
 	o := other.(*categoriesMetric)
 	m.censoredSample.Merge(o.censoredSample)
 	m.censoredFull.Merge(o.censoredFull)
+}
+
+func (m *categoriesMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encCounter(w, m.censoredSample)
+	encCounter(w, m.censoredFull)
+}
+
+func (m *categoriesMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "categories", 1)
+	m.censoredSample = decCounter(r)
+	m.censoredFull = decCounter(r)
 }

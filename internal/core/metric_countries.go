@@ -2,6 +2,7 @@ package core
 
 import (
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 )
 
@@ -46,4 +47,16 @@ func (m *countriesMetric) Merge(other Metric) {
 	o := other.(*countriesMetric)
 	m.censored.Merge(o.censored)
 	m.allowed.Merge(o.allowed)
+}
+
+func (m *countriesMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encCounter(w, m.censored)
+	encCounter(w, m.allowed)
+}
+
+func (m *countriesMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "countries", 1)
+	m.censored = decCounter(r)
+	m.allowed = decCounter(r)
 }

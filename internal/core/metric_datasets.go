@@ -1,6 +1,9 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // datasetsMetric accumulates the four datasets of Table 1 and their
 // class × exception breakdown (Table 3).
@@ -41,5 +44,24 @@ func (m *datasetsMetric) Merge(other Metric) {
 	o := other.(*datasetsMetric)
 	for i := range m.datasets {
 		m.datasets[i].merge(&o.datasets[i])
+	}
+}
+
+func (m *datasetsMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(uint64(len(m.datasets)))
+	for i := range m.datasets {
+		encClassCounts(w, &m.datasets[i])
+	}
+}
+
+func (m *datasetsMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "datasets", 1)
+	if n := r.Count(); r.Err() == nil && n != len(m.datasets) {
+		r.Failf("core: %d datasets, want %d", n, len(m.datasets))
+		return
+	}
+	for i := range m.datasets {
+		decClassCounts(r, &m.datasets[i])
 	}
 }

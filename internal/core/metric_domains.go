@@ -2,6 +2,7 @@ package core
 
 import (
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 	"syriafilter/internal/urlx"
 )
@@ -77,4 +78,27 @@ func (m *domainsMetric) Merge(other Metric) {
 	m.censoredDeny.Merge(o.censoredDeny)
 	m.hostCensoredDeny.Merge(o.hostCensoredDeny)
 	m.hostAllowed.Merge(o.hostAllowed)
+}
+
+// counters returns every counter field, in the fixed encoding order.
+func (m *domainsMetric) counters() []**stats.Counter {
+	return []**stats.Counter{
+		&m.allowed, &m.censored, &m.denied, &m.proxied,
+		&m.tldCensored, &m.tldAllowed,
+		&m.censoredDeny, &m.hostCensoredDeny, &m.hostAllowed,
+	}
+}
+
+func (m *domainsMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	for _, c := range m.counters() {
+		encCounter(w, *c)
+	}
+}
+
+func (m *domainsMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "domains", 1)
+	for _, c := range m.counters() {
+		*c = decCounter(r)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 )
 
 // facebookMetric accumulates the facebook.com-internal views: targeted
@@ -91,4 +92,36 @@ func (m *facebookMetric) Merge(other Metric) {
 		ts.Proxied += v.Proxied
 	}
 	m.cens += o.cens
+}
+
+func (m *facebookMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(m.cens)
+	w.Uvarint(uint64(len(m.pages)))
+	for _, k := range sortedStrKeys(m.pages) {
+		ps := m.pages[k]
+		w.StringRef(k)
+		w.Uvarint(ps.Censored)
+		w.Uvarint(ps.Allowed)
+		w.Uvarint(ps.Proxied)
+		w.Bool(ps.CustomCategory)
+	}
+	encTripleMap(w, m.paths)
+}
+
+func (m *facebookMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "facebook", 1)
+	m.cens = r.Uvarint()
+	n := r.Count()
+	m.pages = make(map[string]*pageStat, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.StringRef()
+		m.pages[k] = &pageStat{
+			Censored:       r.Uvarint(),
+			Allowed:        r.Uvarint(),
+			Proxied:        r.Uvarint(),
+			CustomCategory: r.Bool(),
+		}
+	}
+	m.paths = decTripleMap(r)
 }

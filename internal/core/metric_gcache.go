@@ -1,6 +1,9 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // gcacheMetric accumulates webcache.googleusercontent.com traffic (§7.4).
 type gcacheMetric struct {
@@ -28,4 +31,16 @@ func (m *gcacheMetric) Merge(other Metric) {
 	o := other.(*gcacheMetric)
 	m.total += o.total
 	m.censored += o.censored
+}
+
+func (m *gcacheMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(m.total)
+	w.Uvarint(m.censored)
+}
+
+func (m *gcacheMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "gcache", 1)
+	m.total = r.Uvarint()
+	m.censored = r.Uvarint()
 }

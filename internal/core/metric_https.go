@@ -1,6 +1,9 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // httpsMetric accumulates the §4 HTTPS/CONNECT view. It counts every
 // record (grandTotal) so the traffic share is self-contained and a
@@ -40,4 +43,20 @@ func (m *httpsMetric) Merge(other Metric) {
 	m.total += o.total
 	m.censored += o.censored
 	m.censoredIPLit += o.censoredIPLit
+}
+
+func (m *httpsMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(m.grandTotal)
+	w.Uvarint(m.total)
+	w.Uvarint(m.censored)
+	w.Uvarint(m.censoredIPLit)
+}
+
+func (m *httpsMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "https", 1)
+	m.grandTotal = r.Uvarint()
+	m.total = r.Uvarint()
+	m.censored = r.Uvarint()
+	m.censoredIPLit = r.Uvarint()
 }

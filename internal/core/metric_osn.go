@@ -1,6 +1,9 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // osnMetric accumulates censored/allowed/proxied counts across the §6
 // social-network watchlist (Table 13). The map is pre-seeded with the
@@ -38,4 +41,14 @@ func (m *osnMetric) Merge(other Metric) {
 		ts.Allowed += v.Allowed
 		ts.Proxied += v.Proxied
 	}
+}
+
+func (m *osnMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encTripleMap(w, m.osn)
+}
+
+func (m *osnMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "osn", 1)
+	m.osn = decTripleMap(r)
 }

@@ -1,6 +1,9 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // portsMetric accumulates the per-port request counts of Figure 1.
 type portsMetric struct {
@@ -33,4 +36,16 @@ func (m *portsMetric) Merge(other Metric) {
 	o := other.(*portsMetric)
 	mergeU16(m.allowed, o.allowed)
 	mergeU16(m.censored, o.censored)
+}
+
+func (m *portsMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encU16Counts(w, m.allowed)
+	encU16Counts(w, m.censored)
+}
+
+func (m *portsMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "ports", 1)
+	m.allowed = decU16Counts(r)
+	m.censored = decU16Counts(r)
 }

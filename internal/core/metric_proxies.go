@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 )
 
 // proxiesMetric accumulates the per-proxy (SG-42..48) load, censored
@@ -59,5 +60,34 @@ func (m *proxiesMetric) Merge(other Metric) {
 		mergeI64(m.slotCensored[i], o.slotCensored[i])
 		mergeStr(m.censDomains[i], o.censDomains[i])
 		mergeStr(m.labels[i], o.labels[i])
+	}
+}
+
+func (m *proxiesMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(logfmt.NumProxies)
+	for i := 0; i < logfmt.NumProxies; i++ {
+		w.Uvarint(m.total[i])
+		w.Uvarint(m.censored[i])
+		encI64Counts(w, m.slotTotal[i])
+		encI64Counts(w, m.slotCensored[i])
+		encStrCounts(w, m.censDomains[i])
+		encStrCounts(w, m.labels[i])
+	}
+}
+
+func (m *proxiesMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "proxies", 1)
+	if n := r.Count(); r.Err() == nil && n != logfmt.NumProxies {
+		r.Failf("core: %d proxies, want %d", n, logfmt.NumProxies)
+		return
+	}
+	for i := 0; i < logfmt.NumProxies && r.Err() == nil; i++ {
+		m.total[i] = r.Uvarint()
+		m.censored[i] = r.Uvarint()
+		m.slotTotal[i] = decI64Counts(r)
+		m.slotCensored[i] = decI64Counts(r)
+		m.censDomains[i] = decStrCounts(r)
+		m.labels[i] = decStrCounts(r)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 )
 
@@ -24,4 +25,14 @@ func (m *redirectsMetric) Observe(rec *logfmt.Record) {
 
 func (m *redirectsMetric) Merge(other Metric) {
 	m.hosts.Merge(other.(*redirectsMetric).hosts)
+}
+
+func (m *redirectsMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encCounter(w, m.hosts)
+}
+
+func (m *redirectsMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "redirects", 1)
+	m.hosts = decCounter(r)
 }

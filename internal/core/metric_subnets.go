@@ -1,6 +1,9 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // subnetsMetric accumulates per-subnet request and distinct-IP counts over
 // the Israeli address ranges (Table 12).
@@ -62,6 +65,38 @@ func (m *subnetsMetric) Merge(other Metric) {
 		}
 		for ip := range v.ProxIPs {
 			st.ProxIPs[ip] = struct{}{}
+		}
+	}
+}
+
+func (m *subnetsMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(uint64(len(m.subnets)))
+	for _, k := range sortedStrKeys(m.subnets) {
+		st := m.subnets[k]
+		w.StringRef(k)
+		w.Uvarint(st.Censored)
+		w.Uvarint(st.Allowed)
+		w.Uvarint(st.Proxied)
+		encIPSet(w, st.CensoredIPs)
+		encIPSet(w, st.AllowedIPs)
+		encIPSet(w, st.ProxIPs)
+	}
+}
+
+func (m *subnetsMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "subnets", 1)
+	n := r.Count()
+	m.subnets = make(map[string]*subnetStat, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.StringRef()
+		m.subnets[k] = &subnetStat{
+			Censored:    r.Uvarint(),
+			Allowed:     r.Uvarint(),
+			Proxied:     r.Uvarint(),
+			CensoredIPs: decIPSet(r),
+			AllowedIPs:  decIPSet(r),
+			ProxIPs:     decIPSet(r),
 		}
 	}
 }

@@ -1,6 +1,11 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"sort"
+
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // timeseriesMetric accumulates the 5-minute allowed/censored series of
 // Figures 5 and 6 plus the per-hour censored-domain counts behind
@@ -52,5 +57,33 @@ func (m *timeseriesMetric) Merge(other Metric) {
 			m.censHourDomains[hour] = mine
 		}
 		mergeStr(mine, hd)
+	}
+}
+
+func (m *timeseriesMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encI64Counts(w, m.slotAllowed)
+	encI64Counts(w, m.slotCensored)
+	hours := make([]int64, 0, len(m.censHourDomains))
+	for h := range m.censHourDomains {
+		hours = append(hours, h)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i] < hours[j] })
+	w.Uvarint(uint64(len(hours)))
+	for _, h := range hours {
+		w.Varint(h)
+		encStrCounts(w, m.censHourDomains[h])
+	}
+}
+
+func (m *timeseriesMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "timeseries", 1)
+	m.slotAllowed = decI64Counts(r)
+	m.slotCensored = decI64Counts(r)
+	n := r.Count()
+	m.censHourDomains = make(map[int64]map[string]uint64, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		h := r.Varint()
+		m.censHourDomains[h] = decStrCounts(r)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
 )
 
@@ -73,6 +74,36 @@ func (m *tokensMetric) Merge(other Metric) {
 	m.censoredURLs = append(m.censoredURLs, o.censoredURLs...)
 	if len(m.censoredURLs) > m.opt.MaxStoredCensoredURLs {
 		m.censoredURLs = keepSmallestCensored(m.censoredURLs, m.opt.MaxStoredCensoredURLs)
+	}
+}
+
+// EncodeState writes the censored-URL store in its canonical sorted,
+// capped form (the view every consumer reads), so the encoding is a
+// pure function of the observed corpus even when the raw slice briefly
+// holds up to 2x the cap between compactions.
+func (m *tokensMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	encCounter(w, m.allowed.counter)
+	encCounter(w, m.proxied.counter)
+	urls := m.censored()
+	w.Uvarint(uint64(len(urls)))
+	for i := range urls {
+		w.StringRef(urls[i].Domain)
+		w.String(urls[i].URL)
+		w.StringRef(urls[i].Host)
+	}
+}
+
+func (m *tokensMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "tokens", 1)
+	m.allowed.counter = decCounter(r)
+	m.proxied.counter = decCounter(r)
+	n := r.Count()
+	m.censoredURLs = make([]censoredURL, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.censoredURLs = append(m.censoredURLs, censoredURL{
+			Domain: r.StringRef(), URL: r.String(), Host: r.StringRef(),
+		})
 	}
 }
 

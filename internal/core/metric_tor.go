@@ -1,7 +1,10 @@
 package core
 
 import (
+	"sort"
+
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
 	"syriafilter/internal/torsim"
 )
 
@@ -97,5 +100,56 @@ func (m *torMetric) Merge(other Metric) {
 		for ip := range set {
 			mine[ip] = struct{}{}
 		}
+	}
+}
+
+func (m *torMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(m.total)
+	w.Uvarint(m.http)
+	w.Uvarint(m.onion)
+	w.Uvarint(m.censored)
+	w.Uvarint(m.errors)
+	w.Uvarint(logfmt.NumProxies)
+	for i := 0; i < logfmt.NumProxies; i++ {
+		w.Uvarint(m.censoredByProxy[i])
+	}
+	encI64Counts(w, m.hourly)
+	encI64Counts(w, m.censHourly)
+	encIPSet(w, m.censoredIPs)
+	hours := make([]int64, 0, len(m.allowedIPsByHour))
+	for h := range m.allowedIPsByHour {
+		hours = append(hours, h)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i] < hours[j] })
+	w.Uvarint(uint64(len(hours)))
+	for _, h := range hours {
+		w.Varint(h)
+		encIPSet(w, m.allowedIPsByHour[h])
+	}
+}
+
+func (m *torMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "tor", 1)
+	m.total = r.Uvarint()
+	m.http = r.Uvarint()
+	m.onion = r.Uvarint()
+	m.censored = r.Uvarint()
+	m.errors = r.Uvarint()
+	if n := r.Count(); r.Err() == nil && n != logfmt.NumProxies {
+		r.Failf("core: %d proxies, want %d", n, logfmt.NumProxies)
+		return
+	}
+	for i := 0; i < logfmt.NumProxies; i++ {
+		m.censoredByProxy[i] = r.Uvarint()
+	}
+	m.hourly = decI64Counts(r)
+	m.censHourly = decI64Counts(r)
+	m.censoredIPs = decIPSet(r)
+	n := r.Count()
+	m.allowedIPsByHour = make(map[int64]map[uint32]struct{}, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		h := r.Varint()
+		m.allowedIPsByHour[h] = decIPSet(r)
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "syriafilter/internal/logfmt"
+import (
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
 
 // usersMetric accumulates per-user totals over the Duser window: Figure 4
 // and the §4 headline user numbers.
@@ -41,5 +44,26 @@ func (m *usersMetric) Merge(other Metric) {
 			cp := *v
 			m.users[k] = &cp
 		}
+	}
+}
+
+func (m *usersMetric) EncodeState(w *statecodec.Writer) {
+	w.Byte(1)
+	w.Uvarint(uint64(len(m.users)))
+	for _, k := range sortedStrKeys(m.users) {
+		us := m.users[k]
+		w.StringRef(k)
+		w.Uvarint(us.Total)
+		w.Uvarint(us.Censored)
+	}
+}
+
+func (m *usersMetric) DecodeState(r *statecodec.Reader) {
+	checkVersion(r, "users", 1)
+	n := r.Count()
+	m.users = make(map[string]*userStat, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.StringRef()
+		m.users[k] = &userStat{Total: r.Uvarint(), Censored: r.Uvarint()}
 	}
 }

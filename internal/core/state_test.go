@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"syriafilter/internal/bittorrent"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/statecodec"
+)
+
+func fixtureOptions(f *fixture) Options {
+	return Options{
+		Categories: f.gen.CategoryDB(),
+		Consensus:  f.gen.Consensus(),
+		TitleDB:    bittorrent.NewTitleDB(),
+	}
+}
+
+// renderAllExperiments is the byte-level equivalence oracle: every
+// experiment's full result rendering.
+func renderAllExperiments(a *Analyzer) string {
+	var sb strings.Builder
+	for _, id := range Experiments() {
+		fmt.Fprintf(&sb, "%s: %s\n", id, experimentRender[id](a))
+	}
+	return sb.String()
+}
+
+// restore(marshal(S)) must reproduce S exactly: every experiment result
+// byte-identical, and the re-encoded state byte-identical to the first
+// encoding.
+func TestEngineStateRoundTrip(t *testing.T) {
+	f := corpus(t)
+	state := f.analyzer.MarshalState()
+
+	fresh := NewAnalyzer(fixtureOptions(f))
+	if err := fresh.UnmarshalState(state); err != nil {
+		t.Fatal(err)
+	}
+	want := renderAllExperiments(f.analyzer)
+	if got := renderAllExperiments(fresh); got != want {
+		t.Error("restored analyzer renders differently from the original")
+	}
+	if again := fresh.MarshalState(); !bytes.Equal(again, state) {
+		t.Errorf("re-encoded state differs: %d vs %d bytes", len(again), len(state))
+	}
+}
+
+// Marshaling must be deterministic across equivalent engines: a
+// serially observed engine and a merge of two halves encode the same
+// state bytes (map iteration order must not leak into the encoding).
+func TestEngineStateDeterministic(t *testing.T) {
+	f := corpus(t)
+	opt := fixtureOptions(f)
+
+	half1, half2 := NewAnalyzer(opt), NewAnalyzer(opt)
+	for i := range f.records {
+		if i%2 == 0 {
+			half1.Observe(&f.records[i])
+		} else {
+			half2.Observe(&f.records[i])
+		}
+	}
+	half1.Merge(half2)
+	if !bytes.Equal(half1.MarshalState(), f.analyzer.MarshalState()) {
+		t.Error("merged-engine state bytes differ from serial engine state bytes")
+	}
+	// And repeated marshaling of the same engine is stable.
+	if !bytes.Equal(f.analyzer.MarshalState(), f.analyzer.MarshalState()) {
+		t.Error("two MarshalState calls on the same engine disagree")
+	}
+}
+
+// A subset engine round-trips through its own state, and a full
+// checkpoint loads into a subset engine (extra sections skipped).
+func TestEngineStateSubsets(t *testing.T) {
+	f := corpus(t)
+	opt := fixtureOptions(f)
+	fullState := f.analyzer.MarshalState()
+
+	for _, id := range []string{"table4", "fig8", "table12", "bt"} {
+		mods, err := ModulesFor(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := NewAnalyzerFor(opt, mods...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range f.records {
+			sub.Observe(&f.records[i])
+		}
+		want := experimentRender[id](sub)
+
+		// Subset state -> subset engine.
+		restored, err := NewAnalyzerFor(opt, mods...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.UnmarshalState(sub.MarshalState()); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if got := experimentRender[id](restored); got != want {
+			t.Errorf("%s: subset state round-trip changed the result", id)
+		}
+
+		// Full checkpoint -> subset engine.
+		fromFull, err := NewAnalyzerFor(opt, mods...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fromFull.UnmarshalState(fullState); err != nil {
+			t.Fatalf("%s: loading full state: %v", id, err)
+		}
+		if got := experimentRender[id](fromFull); got != want {
+			t.Errorf("%s: full checkpoint loaded into subset engine changed the result", id)
+		}
+	}
+}
+
+// Loading a subset checkpoint into an engine that needs more modules
+// must fail loudly, not serve silently-empty results.
+func TestEngineStateMissingModules(t *testing.T) {
+	f := corpus(t)
+	opt := fixtureOptions(f)
+	sub, err := NewAnalyzerFor(opt, "datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewAnalyzer(opt)
+	err = full.UnmarshalState(sub.MarshalState())
+	if err == nil {
+		t.Fatal("full engine accepted a datasets-only checkpoint")
+	}
+	if !strings.Contains(err.Error(), "domains") {
+		t.Errorf("error should name a missing module: %v", err)
+	}
+}
+
+// Sections are paired by name, not position: a stream with its module
+// sections reordered decodes to the same state.
+func TestEngineStateSectionOrderIndependent(t *testing.T) {
+	f := corpus(t)
+	state := f.analyzer.MarshalState()
+
+	// Reparse the outer framing and rebuild the stream with the
+	// sections reversed.
+	header := len(engineStateMagic) + 1
+	r := statecodec.NewReader(state[header:])
+	n := r.Count()
+	type section struct {
+		name    string
+		payload []byte
+	}
+	secs := make([]section, 0, n)
+	for i := 0; i < n; i++ {
+		secs = append(secs, section{r.String(), r.Blob()})
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	w := statecodec.NewWriter()
+	w.Raw(state[:header])
+	w.Uvarint(uint64(n))
+	for i := n - 1; i >= 0; i-- {
+		w.String(secs[i].name)
+		w.Blob(secs[i].payload)
+	}
+
+	fresh := NewAnalyzer(fixtureOptions(f))
+	if err := fresh.UnmarshalState(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if renderAllExperiments(fresh) != renderAllExperiments(f.analyzer) {
+		t.Error("section-reversed state decodes to a different analyzer")
+	}
+}
+
+// Corrupted and truncated state must fail with an error — never panic,
+// and never quietly succeed on a prefix.
+func TestEngineStateCorruption(t *testing.T) {
+	f := corpus(t)
+	state := f.analyzer.MarshalState()
+	fresh := func() *Analyzer { return NewAnalyzer(fixtureOptions(f)) }
+
+	if err := fresh().UnmarshalState(nil); err == nil {
+		t.Error("empty state accepted")
+	}
+	if err := fresh().UnmarshalState([]byte("BOGUS-not-a-state")); err == nil {
+		t.Error("garbage state accepted")
+	}
+	// A flipped version byte must be rejected.
+	bad := append([]byte(nil), state...)
+	bad[len(engineStateMagic)] = 99
+	if err := fresh().UnmarshalState(bad); err == nil {
+		t.Error("unknown format version accepted")
+	}
+	// Truncations at various points (every point would be slow at this
+	// corpus size; step through a spread).
+	step := len(state)/97 + 1
+	for n := 0; n < len(state); n += step {
+		if err := fresh().UnmarshalState(state[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(state))
+		}
+	}
+	// Trailing garbage is rejected too.
+	if err := fresh().UnmarshalState(append(append([]byte(nil), state...), 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// FuzzStateRoundTrip feeds arbitrary log lines through the engine and
+// pins the codec invariant: encode → decode → re-encode is
+// byte-identical, and every experiment renders identically.
+func FuzzStateRoundTrip(f *testing.F) {
+	f.Add([]byte("2011-08-03 11:01:02 1.2.3.4 200 OBSERVED - http://example.com/x.html GET example.com 80 /x.html html - 1234 56 - Mozilla news \"News\" SG-42 - - - - - -\n"))
+	f.Add([]byte("garbage\nmore garbage\n"))
+	f.Add([]byte{})
+	fz := corpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		an := NewAnalyzer(fixtureOptions(fz))
+		// Parse fuzz bytes as log lines; malformed lines are skipped, so
+		// arbitrary input still drives Observe with whatever parses.
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			var rec logfmt.Record
+			if err := logfmt.ParseLine(string(line), &rec); err == nil {
+				an.Observe(&rec)
+			}
+		}
+		// Mix in a slice of the realistic corpus so the state is never
+		// trivially empty.
+		off := 0
+		if len(data) > 0 {
+			off = int(data[0]) * 37 % len(fz.records)
+		}
+		for i := off; i < len(fz.records) && i < off+500; i++ {
+			an.Observe(&fz.records[i])
+		}
+
+		state := an.MarshalState()
+		restored := NewAnalyzer(fixtureOptions(fz))
+		if err := restored.UnmarshalState(state); err != nil {
+			t.Fatalf("decode of freshly encoded state failed: %v", err)
+		}
+		if again := restored.MarshalState(); !bytes.Equal(again, state) {
+			t.Fatalf("re-encode differs: %d vs %d bytes", len(again), len(state))
+		}
+		if renderAllExperiments(restored) != renderAllExperiments(an) {
+			t.Fatal("restored analyzer renders differently")
+		}
+	})
+}

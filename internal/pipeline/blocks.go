@@ -208,7 +208,7 @@ func RunFilesBlocks[A any](paths []string, n int, newAcc func() A, observe func(
 // decompressing gzip content under the same rules as OpenScanner. Close
 // the returned Closer when done.
 func OpenBlockFile(path string) (*BlockSource, io.Closer, error) {
-	r, closer, err := openReader(path)
+	r, closer, err := OpenReader(path)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -11,14 +11,14 @@ import (
 	"syriafilter/internal/logfmt"
 )
 
-// openReader opens path as a byte stream, transparently decompressing
+// OpenReader opens path as a byte stream, transparently decompressing
 // gzip content: a file is treated as gzip when its name ends in ".gz" or
 // its first two bytes carry the gzip magic (real Blue Coat dumps ship
 // gzipped, often without the suffix after renaming). A ".gz" file
 // without a valid gzip header is an error, not a silent zero-record
 // source. Shared by the Scanner layer (OpenScanner) and the block layer
-// (OpenBlockFile).
-func openReader(path string) (io.Reader, io.Closer, error) {
+// (OpenBlockFile), and reused by `censorlyzer -load-state`.
+func OpenReader(path string) (io.Reader, io.Closer, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -38,12 +38,12 @@ func openReader(path string) (io.Reader, io.Closer, error) {
 }
 
 // OpenScanner opens one log file as a record Scanner (gzip-transparent,
-// see openReader). Errors from the returned Scanner are wrapped with the
+// see OpenReader). Errors from the returned Scanner are wrapped with the
 // path.
 //
 // Close the returned Closer when done with the Scanner.
 func OpenScanner(path string) (Scanner, io.Closer, error) {
-	r, closer, err := openReader(path)
+	r, closer, err := OpenReader(path)
 	if err != nil {
 		return nil, nil, err
 	}

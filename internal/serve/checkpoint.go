@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"syriafilter/internal/statecodec"
+	"syriafilter/internal/timewin"
+)
+
+// Checkpoint layout. A checkpoint directory holds complete generations
+// plus one manifest naming the current one:
+//
+//	dir/MANIFEST.json        -> {"generation":"gen-00000003", ...}
+//	dir/gen-00000003/shard-0000.ckpt.gz
+//	dir/gen-00000003/shard-0001.ckpt.gz
+//	...
+//
+// Crash safety is rename-based, twice over: a generation is written
+// into a ".tmp" directory and renamed whole once every shard file is
+// synced, and the manifest is then swapped by its own temp-file +
+// rename. Files and directories are fsynced at each step (shard files,
+// the generation directory, the parent after each rename), so the
+// guarantee covers power loss, not just process death. A crash at any
+// point leaves the previous manifest naming the previous complete
+// generation — a reader never sees a half-written checkpoint. Older
+// generations are pruned only after the manifest swap is durable.
+//
+// Each shard file is a gzip stream of:
+//
+//	"SFCK" | version byte
+//	uvarint shard index | uvarint shard count | uvarint observed records
+//	partition state (timewin.Partition.MarshalState)
+const (
+	shardStateMagic   = "SFCK"
+	shardStateVersion = 1
+	manifestName      = "MANIFEST.json"
+	manifestFormat    = 1
+)
+
+// CheckpointInfo describes one written (or restored) checkpoint.
+type CheckpointInfo struct {
+	Generation  string `json:"generation"`
+	CreatedUnix int64  `json:"created_unix"`
+	Shards      int    `json:"shards"`
+	Records     uint64 `json:"records"`
+	Bytes       int64  `json:"bytes"`
+}
+
+// manifest is the on-disk MANIFEST.json.
+type manifest struct {
+	Format        int    `json:"format"`
+	Seq           uint64 `json:"seq"`
+	BucketSeconds int64  `json:"bucket_seconds"`
+	CheckpointInfo
+}
+
+// ErrNoCheckpoint reports a Restore against a directory with no
+// manifest: nothing was ever checkpointed there (distinct from a
+// corrupted checkpoint, which is a real error).
+var ErrNoCheckpoint = errors.New("serve: no checkpoint manifest")
+
+// Checkpoint writes a consistent point-in-time checkpoint of every
+// shard into dir and returns what was written. Each shard's state is
+// encoded and written by that shard's own goroutine — serialized with
+// its ingest stream, so the file is a clean prefix of what the shard
+// acked — with all shards working in parallel. Safe to call while
+// ingest and queries keep running; only the shard currently encoding
+// pauses its ingest.
+func (st *Store) Checkpoint(dir string) (CheckpointInfo, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return CheckpointInfo{}, ErrClosed
+	}
+	return st.checkpoint(dir)
+}
+
+// checkpoint is Checkpoint without the closed gate, so the final
+// checkpoint of CloseAndCheckpoint can run after closed flips.
+func (st *Store) checkpoint(dir string) (CheckpointInfo, error) {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+
+	seq := st.ckptSeq.Add(1)
+	gen := fmt.Sprintf("gen-%08d", seq)
+	tmpDir := filepath.Join(dir, gen+".tmp")
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return CheckpointInfo{}, err
+	}
+	fail := func(err error) (CheckpointInfo, error) {
+		os.RemoveAll(tmpDir)
+		return CheckpointInfo{}, err
+	}
+
+	// One op per shard, all enqueued before any is awaited, so the
+	// shards encode and write their files concurrently.
+	type result struct {
+		err     error
+		bytes   int64
+		records uint64
+	}
+	results := make([]result, len(st.shards))
+	dones := make([]chan struct{}, len(st.shards))
+	for i, sh := range st.shards {
+		i := i
+		path := filepath.Join(tmpDir, shardFileName(i))
+		dones[i] = make(chan struct{})
+		sh.msgs <- shardMsg{done: dones[i], op: func(p *timewin.Partition, observed *uint64) {
+			results[i].records = *observed
+			results[i].bytes, results[i].err = writeShardFile(path, i, len(st.shards), *observed, p)
+		}}
+	}
+	info := CheckpointInfo{
+		Generation:  gen,
+		CreatedUnix: time.Now().Unix(),
+		Shards:      len(st.shards),
+	}
+	for i := range dones {
+		<-dones[i]
+		if err := results[i].err; err != nil {
+			// Await the rest before tearing the directory down.
+			for j := i + 1; j < len(dones); j++ {
+				<-dones[j]
+			}
+			return fail(fmt.Errorf("serve: checkpoint shard %d: %w", i, err))
+		}
+		info.Bytes += results[i].bytes
+		info.Records += results[i].records
+	}
+
+	finalDir := filepath.Join(dir, gen)
+	// The shard files are fsynced individually; sync their directory
+	// entries, rename the generation whole, and sync the parent so the
+	// rename itself is durable — only then may the manifest name it.
+	if err := syncDir(tmpDir); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpDir, finalDir); err != nil {
+		return fail(err)
+	}
+	if err := syncDir(dir); err != nil {
+		return CheckpointInfo{}, err
+	}
+	m := manifest{
+		Format:         manifestFormat,
+		Seq:            seq,
+		BucketSeconds:  st.bucketSecs,
+		CheckpointInfo: info,
+	}
+	if err := writeManifest(dir, &m); err != nil {
+		return CheckpointInfo{}, err
+	}
+	st.lastCkpt.Store(&info)
+	pruneGenerations(dir, gen)
+	return info, nil
+}
+
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.ckpt.gz", i) }
+
+// writeShardFile encodes one shard's partition into a gzip-framed file,
+// syncing before close so the later directory rename publishes durable
+// bytes. Returns the compressed size.
+func writeShardFile(path string, idx, count int, observed uint64, p *timewin.Partition) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	zw := gzip.NewWriter(f)
+	hw := statecodec.NewWriter()
+	hw.Raw([]byte(shardStateMagic))
+	hw.Byte(shardStateVersion)
+	hw.Uvarint(uint64(idx))
+	hw.Uvarint(uint64(count))
+	hw.Uvarint(observed)
+	if _, err = zw.Write(hw.Bytes()); err == nil {
+		err = p.WriteState(zw)
+	}
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return 0, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func writeManifest(dir string, m *manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(b, '\n'))
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	// Make the swap durable before old generations are pruned: a power
+	// loss must never leave a manifest pointing at a pruned generation.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and entries inside it survive
+// power loss, not just process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// pruneGenerations removes every gen-* entry except keep (best effort:
+// a leftover directory costs disk, not correctness).
+func pruneGenerations(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "gen-") || name == keep {
+			continue
+		}
+		os.RemoveAll(filepath.Join(dir, name))
+	}
+}
+
+// Restore folds the checkpoint named by dir's manifest into the store.
+// It is two-phase: every shard file is read and fully decoded into a
+// staging partition first — any corruption, truncation or config
+// mismatch fails here, leaving the store exactly as it was — and only
+// then are the staged partitions absorbed into the live shards (on the
+// shard goroutines, like any other op).
+//
+// The checkpoint's shard count does not need to match the store's:
+// files are distributed round-robin and absorbed, since queries always
+// merge across all shards. The bucket width must match (bucket grids
+// are not convertible); the stored module subset must cover the
+// store's (see core.Engine.UnmarshalState).
+func (st *Store) Restore(dir string) (CheckpointInfo, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	if m.BucketSeconds != st.bucketSecs {
+		return CheckpointInfo{}, fmt.Errorf("serve: checkpoint bucket width %ds does not match configured %ds", m.BucketSeconds, st.bucketSecs)
+	}
+	if m.Shards <= 0 {
+		return CheckpointInfo{}, fmt.Errorf("serve: manifest names %d shard files", m.Shards)
+	}
+
+	genDir := filepath.Join(dir, m.Generation)
+	staged := make([]*timewin.Partition, m.Shards)
+	counts := make([]uint64, m.Shards)
+	errs := make([]error, m.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < m.Shards; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			staged[i], counts[i], errs[i] = st.readShardFile(filepath.Join(genDir, shardFileName(i)), i, m.Shards)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return CheckpointInfo{}, fmt.Errorf("serve: restore shard file %d: %w", i, err)
+		}
+	}
+
+	// Fold phase: nothing below can fail (Absorb only errors on grid
+	// mismatch, checked above), so a successful decode is a successful
+	// restore.
+	var rerr error
+	for j := range staged {
+		j := j
+		sh := j % len(st.shards)
+		err := st.shardOp(sh, func(p *timewin.Partition, observed *uint64) {
+			if err := p.Absorb(staged[j]); err != nil {
+				rerr = err
+				return
+			}
+			*observed += counts[j]
+		})
+		if err != nil {
+			return CheckpointInfo{}, err
+		}
+		if rerr != nil {
+			return CheckpointInfo{}, rerr
+		}
+		st.ingested.Add(counts[j])
+	}
+	// Future checkpoints continue the restored generation sequence, and
+	// checkpoint_age_s reports the restored checkpoint until a new one
+	// is cut.
+	st.ckptSeq.Store(m.Seq)
+	st.lastCkpt.Store(&m.CheckpointInfo)
+	return m.CheckpointInfo, nil
+}
+
+// shardOp runs op on one shard's goroutine.
+func (st *Store) shardOp(i int, op func(p *timewin.Partition, observed *uint64)) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return ErrClosed
+	}
+	done := make(chan struct{})
+	st.shards[i].msgs <- shardMsg{op: op, done: done}
+	<-done
+	return nil
+}
+
+func readManifest(dir string) (*manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("serve: parsing %s: %w", manifestName, err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("serve: checkpoint manifest format %d unsupported (max %d)", m.Format, manifestFormat)
+	}
+	return &m, nil
+}
+
+// readShardFile decodes one checkpoint shard file into a fresh staging
+// partition built from the store's config.
+func (st *Store) readShardFile(path string, idx, count int) (*timewin.Partition, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer zr.Close()
+	b, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := statecodec.NewReader(b)
+	if magic := r.Raw(len(shardStateMagic)); r.Err() != nil || string(magic) != shardStateMagic {
+		return nil, 0, fmt.Errorf("not a shard checkpoint (bad magic)")
+	}
+	if v := r.Byte(); r.Err() == nil && v != shardStateVersion {
+		return nil, 0, fmt.Errorf("shard checkpoint version %d unsupported (max %d)", v, shardStateVersion)
+	}
+	if got := r.Uvarint(); r.Err() == nil && got != uint64(idx) {
+		return nil, 0, fmt.Errorf("file claims shard %d, expected %d", got, idx)
+	}
+	if got := r.Uvarint(); r.Err() == nil && got != uint64(count) {
+		return nil, 0, fmt.Errorf("file claims %d shards, manifest says %d", got, count)
+	}
+	observed := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	p, err := timewin.New(timewin.Config{
+		Options: st.cfg.Options,
+		Metrics: st.cfg.Metrics,
+		Bucket:  st.cfg.Bucket,
+		Retain:  st.cfg.Retain,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := p.UnmarshalState(b[len(b)-r.Remaining():]); err != nil {
+		return nil, 0, err
+	}
+	return p, observed, nil
+}

@@ -78,23 +78,36 @@ type Snapshot struct {
 // IngestScanner have no byte representation to count. Timewin is the
 // bucket layout of the latest snapshot.
 type Stats struct {
-	Shards          int          `json:"shards"`
-	Metrics         []string     `json:"metrics"`
-	Ingested        uint64       `json:"ingested"`
-	SnapshotSeq     uint64       `json:"snapshot_seq"`
-	SnapshotRecords uint64       `json:"snapshot_records"`
-	SnapshotBuilt   string       `json:"snapshot_built"`
-	IngestedBytes   uint64       `json:"ingested_bytes"`
-	IngestMBPerS    float64      `json:"ingest_mb_per_s"`
-	Timewin         timewin.Meta `json:"timewin"`
+	Shards          int      `json:"shards"`
+	Metrics         []string `json:"metrics"`
+	Ingested        uint64   `json:"ingested"`
+	SnapshotSeq     uint64   `json:"snapshot_seq"`
+	SnapshotRecords uint64   `json:"snapshot_records"`
+	SnapshotBuilt   string   `json:"snapshot_built"`
+	// UptimeS and SnapshotAgeS separate "the process just started" from
+	// "the snapshot is stale": a daemon restarted a minute ago off a
+	// 6-hour-old checkpoint shows uptime_s=60 with a fresh snapshot,
+	// while checkpoint_age_s says how much a crash right now would lose.
+	UptimeS      int64 `json:"uptime_s"`
+	SnapshotAgeS int64 `json:"snapshot_age_s"`
+	// CheckpointAgeS is the age of the last written or restored
+	// checkpoint, -1 when none exists yet.
+	CheckpointAgeS       int64        `json:"checkpoint_age_s"`
+	CheckpointBytes      int64        `json:"checkpoint_bytes,omitempty"`
+	CheckpointGeneration string       `json:"checkpoint_generation,omitempty"`
+	IngestedBytes        uint64       `json:"ingested_bytes"`
+	IngestMBPerS         float64      `json:"ingest_mb_per_s"`
+	Timewin              timewin.Meta `json:"timewin"`
 }
 
 // shardMsg is one unit of shard work: either a batch to observe or a
-// control op to run between batches (snapshot merges use ops, so they
-// serialize with ingestion without any engine lock).
+// control op to run between batches (snapshot merges, checkpoint writes
+// and restore folds use ops, so they serialize with ingestion without
+// any engine lock). Ops receive the shard's observed-record counter by
+// pointer: readers report it, restore folds bump it.
 type shardMsg struct {
 	batch []logfmt.Record
-	op    func(p *timewin.Partition, observed uint64)
+	op    func(p *timewin.Partition, observed *uint64)
 	done  chan struct{}
 }
 
@@ -107,7 +120,7 @@ func (s *shard) loop(p *timewin.Partition, wg *sync.WaitGroup) {
 	var observed uint64
 	for m := range s.msgs {
 		if m.op != nil {
-			m.op(p, observed)
+			m.op(p, &observed)
 			close(m.done)
 			continue
 		}
@@ -129,6 +142,7 @@ type Store struct {
 	cfg        Config
 	bucketSecs int64
 	shards     []*shard
+	start      time.Time
 
 	snap      atomic.Pointer[Snapshot]
 	seq       atomic.Uint64
@@ -137,6 +151,10 @@ type Store struct {
 
 	ingestedBytes atomic.Uint64 // raw log bytes through the block paths
 	ingestNanos   atomic.Int64  // wall time spent in block ingest calls
+
+	ckptSeq  atomic.Uint64                  // checkpoint generation counter
+	lastCkpt atomic.Pointer[CheckpointInfo] // most recent written or restored checkpoint
+	ckptMu   sync.Mutex                     // serializes Checkpoint runs
 
 	mu     sync.RWMutex // guards closed vs. in-flight sends
 	closed bool
@@ -158,7 +176,7 @@ func NewStore(cfg Config) (*Store, error) {
 	if cfg.Bucket <= 0 {
 		cfg.Bucket = time.Hour
 	}
-	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), stop: make(chan struct{})}
+	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), start: time.Now(), stop: make(chan struct{})}
 	var retainBuckets int64
 	for i := 0; i < cfg.Shards; i++ {
 		p, err := timewin.New(timewin.Config{
@@ -350,10 +368,10 @@ func (st *Store) Refresh() (*Snapshot, error) {
 	var meta timewin.Meta
 	for _, sh := range st.shards {
 		done := make(chan struct{})
-		sh.msgs <- shardMsg{op: func(p *timewin.Partition, observed uint64) {
+		sh.msgs <- shardMsg{op: func(p *timewin.Partition, observed *uint64) {
 			p.AllInto(fresh.Engine)
 			timewin.MergeMeta(&meta, p.Meta())
-			records += observed
+			records += *observed
 		}, done: done}
 		<-done
 	}
@@ -377,7 +395,7 @@ var ErrClosed = errors.New("serve: store is closed")
 // shardOps runs op on every shard goroutine, one shard at a time (each
 // op observes that shard's state at its current stream position, like
 // Refresh). Returns ErrClosed on a closed store.
-func (st *Store) shardOps(op func(p *timewin.Partition, observed uint64)) error {
+func (st *Store) shardOps(op func(p *timewin.Partition, observed *uint64)) error {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if st.closed {
@@ -403,7 +421,7 @@ func (st *Store) Range(w timewin.Window) (*core.Analyzer, timewin.Coverage, erro
 	}
 	var cov timewin.Coverage
 	var rerr error
-	err = st.shardOps(func(p *timewin.Partition, _ uint64) {
+	err = st.shardOps(func(p *timewin.Partition, _ *uint64) {
 		c, err := p.RangeInto(fresh.Engine, w)
 		if err != nil {
 			if rerr == nil {
@@ -493,7 +511,7 @@ func (st *Store) RangeSeries(w timewin.Window, step int64) ([]RangeWindow, error
 		wins = append(wins, RangeWindow{Window: timewin.Window{From: s, To: e}, An: an})
 	}
 	var rerr error
-	err = st.shardOps(func(p *timewin.Partition, _ uint64) {
+	err = st.shardOps(func(p *timewin.Partition, _ *uint64) {
 		for i := range wins {
 			c, err := p.RangeInto(wins[i].An.Engine, wins[i].Window)
 			if err != nil {
@@ -518,7 +536,7 @@ func (st *Store) RangeSeries(w timewin.Window, step int64) ([]RangeWindow, error
 // snapshot's Timewin field is the same thing frozen at build time).
 func (st *Store) liveMeta() (timewin.Meta, error) {
 	var meta timewin.Meta
-	err := st.shardOps(func(p *timewin.Partition, _ uint64) {
+	err := st.shardOps(func(p *timewin.Partition, _ *uint64) {
 		timewin.MergeMeta(&meta, p.Meta())
 	})
 	return meta, err
@@ -539,22 +557,51 @@ func (st *Store) Stats() Stats {
 		// ingests report per-call, not aggregate, bandwidth.
 		mbps = math.Round(float64(bytes)/1e6/(float64(nanos)/1e9)*100) / 100
 	}
-	return Stats{
+	out := Stats{
 		Shards:          len(st.shards),
 		Metrics:         metrics,
 		Ingested:        st.ingested.Load(),
 		SnapshotSeq:     snap.Seq,
 		SnapshotRecords: snap.Records,
 		SnapshotBuilt:   snap.Built.UTC().Format(time.RFC3339),
+		UptimeS:         int64(time.Since(st.start).Seconds()),
+		SnapshotAgeS:    int64(time.Since(snap.Built).Seconds()),
+		CheckpointAgeS:  -1,
 		IngestedBytes:   bytes,
 		IngestMBPerS:    mbps,
 		Timewin:         snap.Timewin,
 	}
+	if ck := st.lastCkpt.Load(); ck != nil {
+		out.CheckpointAgeS = int64(time.Since(time.Unix(ck.CreatedUnix, 0)).Seconds())
+		out.CheckpointBytes = ck.Bytes
+		out.CheckpointGeneration = ck.Generation
+	}
+	return out
 }
 
 // Close stops the background builder and the shard goroutines. Add
 // becomes a no-op; the last published snapshot keeps serving.
-func (st *Store) Close() {
+func (st *Store) Close() { st.shutdown(nil) }
+
+// CloseAndCheckpoint closes the store and cuts one final checkpoint
+// into dir on the way down, in the only order that cannot lose data:
+// new ingestion is rejected first, then the checkpoint ops run on the
+// shard goroutines — each shard's channel is FIFO, so every batch
+// acked (enqueued) before the close drains into the partition before
+// its checkpoint is cut — and only then do the shard goroutines stop.
+// This is what makes a graceful SIGTERM in cmd/censord persist
+// everything POST /v1/ingest acknowledged.
+func (st *Store) CloseAndCheckpoint(dir string) (CheckpointInfo, error) {
+	var info CheckpointInfo
+	err := ErrClosed
+	st.shutdown(func() { info, err = st.checkpoint(dir) })
+	return info, err
+}
+
+// shutdown marks the store closed (rejecting new Adds), runs the
+// optional final op while the shard goroutines are still draining
+// their queues, then closes the channels and waits the goroutines out.
+func (st *Store) shutdown(final func()) {
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
@@ -562,9 +609,16 @@ func (st *Store) Close() {
 	}
 	st.closed = true
 	close(st.stop)
+	st.mu.Unlock()
+	// Between here and closing the channels only ops sent by final can
+	// enter the shards: Add and the public op paths check closed, and
+	// any send that won the race against closed=true completed while we
+	// held the write lock.
+	if final != nil {
+		final()
+	}
 	for _, sh := range st.shards {
 		close(sh.msgs)
 	}
-	st.mu.Unlock()
 	st.wg.Wait()
 }

@@ -14,7 +14,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery' \
+  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint' \
   -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 # Convert `go test -bench` lines into a JSON array.

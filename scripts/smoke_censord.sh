@@ -7,6 +7,11 @@
 # plus /v1/range over the full window and a bucket-aligned sub-window —
 # against `censorlyzer -json` over the same corpus — the two front ends
 # must be byte-identical.
+#
+# Then the warm-restart path: SIGTERM the daemon (cutting a final
+# checkpoint after flushing acked ingest), restart it from -checkpoint
+# alone (no -input), and diff every /v1/tables/{id} against the
+# pre-kill snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,8 +45,9 @@ SUBFROM=2011-08-03 SUBTO=2011-08-05
 "$tmp/censorlyzer" -input "$inputs" -seed "$SEED" -requests "$REQUESTS" \
   -exp table4 -json -from "$SUBFROM" -to "$SUBTO" > "$tmp/batch-table4-sub.json"
 
+CKPT="$tmp/ckpt"
 "$tmp/censord" -addr "$ADDR" -input "$inputs" -seed "$SEED" -requests "$REQUESTS" \
-  -bucket 1h -snapshot-every 0 &
+  -bucket 1h -snapshot-every 0 -checkpoint "$CKPT" &
 pid=$!
 
 for i in $(seq 1 50); do
@@ -84,3 +90,54 @@ after=$(curl -sf "http://$ADDR/v1/stats" | sed 's/.*"ingested"://;s/,.*//')
 [ "$after" -gt "$before" ] || { echo "smoke: ingest did not grow the store ($before -> $after)" >&2; exit 1; }
 
 echo "smoke: censord serves batch-identical JSON and accepts live ingest ($before -> $after records)"
+
+# --- warm restart: kill mid-run, restart from the checkpoint alone ---
+
+TABLES="1 3 4 5 6 7 8 9 10 11 12 13 14 15"
+mkdir -p "$tmp/prekill"
+for id in $TABLES; do
+  curl -sf "http://$ADDR/v1/tables/$id" > "$tmp/prekill/table$id.json"
+done
+prestats=$(curl -sf "http://$ADDR/v1/stats")
+echo "$prestats" | grep -q '"uptime_s"' || { echo "smoke: /v1/stats missing uptime_s" >&2; exit 1; }
+echo "$prestats" | grep -q '"snapshot_age_s"' || { echo "smoke: /v1/stats missing snapshot_age_s" >&2; exit 1; }
+echo "$prestats" | grep -q '"checkpoint_age_s"' || { echo "smoke: /v1/stats missing checkpoint_age_s" >&2; exit 1; }
+
+# Graceful shutdown cuts the final checkpoint (covering the live-ingested
+# batch above, which was acked over POST /v1/ingest).
+kill -TERM "$pid"
+for i in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "smoke: censord did not exit after SIGTERM" >&2
+  exit 1
+fi
+pid=""
+[ -f "$CKPT/MANIFEST.json" ] || { echo "smoke: no checkpoint manifest after shutdown" >&2; exit 1; }
+
+# Restart from state alone: no -input, the checkpoint carries everything.
+"$tmp/censord" -addr "$ADDR" -seed "$SEED" -requests "$REQUESTS" \
+  -bucket 1h -snapshot-every 0 -checkpoint "$CKPT" &
+pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "smoke: restarted censord exited early" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf -X POST "http://$ADDR/v1/snapshot" > /dev/null
+for id in $TABLES; do
+  curl -sf "http://$ADDR/v1/tables/$id" > "$tmp/postkill-table$id.json"
+  diff "$tmp/prekill/table$id.json" "$tmp/postkill-table$id.json" \
+    || { echo "smoke: table$id differs after warm restart" >&2; exit 1; }
+done
+restored=$(curl -sf "http://$ADDR/v1/stats" | sed 's/.*"ingested"://;s/,.*//')
+[ "$restored" -eq "$after" ] || { echo "smoke: restored $restored records, expected $after" >&2; exit 1; }
+
+echo "smoke: warm restart serves byte-identical tables from the checkpoint ($restored records)"
