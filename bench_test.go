@@ -3,7 +3,7 @@ package repro
 // The benchmark harness: one benchmark per paper table and figure (the
 // cost of regenerating that artifact from an analyzed corpus), the
 // end-to-end stages (generate -> filter -> analyze), and the ablations
-// called out in DESIGN.md §8.
+// called out in DESIGN.md §9.
 //
 // Run everything with:
 //
@@ -209,6 +209,21 @@ func BenchmarkIngestEndToEnd(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			an, stats, err := pipeline.RunFilesBlocks([]string{path}, 0, newAcc, observe, merge)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Records == 0 || an.Dataset(core.DFull).Total == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("blocks-sketch", func(b *testing.B) {
+		sketchOpts := opts.WithSketches(0, 0)
+		newSketch := func() *core.Analyzer { return core.NewAnalyzer(sketchOpts) }
+		b.SetBytes(size)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			an, stats, err := pipeline.RunFilesBlocks([]string{path}, 0, newSketch, observe, merge)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -476,7 +491,7 @@ func BenchmarkGoogleCache(b *testing.B) {
 	})
 }
 
-// --- Ablations (DESIGN.md §8) ---
+// --- Ablations (DESIGN.md §9) ---
 
 var ablationText = "www.facebook.com/plugins/like.php?href=http%3A%2F%2Fsite-042.example.com&layout=standard&app_id=123456"
 

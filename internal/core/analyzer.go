@@ -42,6 +42,9 @@ type Options struct {
 	MaxStoredCensoredURLs int
 	// MaxTokenEntries caps the allowed-token vocabulary (default 4M).
 	MaxTokenEntries int
+	// Sketches switches the cardinality-heavy modules to bounded-memory
+	// sketches; see SketchOptions and WithSketches.
+	Sketches SketchOptions
 }
 
 func (o *Options) defaults() {
@@ -60,6 +63,7 @@ func (o *Options) defaults() {
 	if o.MaxTokenEntries == 0 {
 		o.MaxTokenEntries = 4 << 20
 	}
+	o.Sketches.defaults()
 }
 
 // DatasetID indexes the four datasets of Table 1.
@@ -129,19 +133,6 @@ func (c *ClassCounts) merge(o *ClassCounts) {
 type userStat struct {
 	Total    uint64
 	Censored uint64
-}
-
-type subnetStat struct {
-	Censored, Allowed, Proxied       uint64
-	CensoredIPs, AllowedIPs, ProxIPs map[uint32]struct{}
-}
-
-func newSubnetStat() *subnetStat {
-	return &subnetStat{
-		CensoredIPs: map[uint32]struct{}{},
-		AllowedIPs:  map[uint32]struct{}{},
-		ProxIPs:     map[uint32]struct{}{},
-	}
 }
 
 type triple struct{ Censored, Allowed, Proxied uint64 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"syriafilter/internal/categorydb"
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
@@ -60,7 +61,20 @@ type recordCtx struct {
 	ipv4       uint32
 	isIP       bool
 	ipSet      bool
+	cat        categorydb.Category
+	catSet     bool
+
+	// catDB/catCache back HostCategory: the suffix walk in
+	// categorydb.Classify costs several map probes per call, so the
+	// engine keeps a bounded host -> category cache that collapses it to
+	// one probe for the (heavily repeated) hosts of a real corpus.
+	catDB    *categorydb.DB
+	catCache map[string]categorydb.Category
 }
+
+// maxCatCache bounds the engine's host-category cache; a corpus with
+// more distinct hosts just degrades to uncached Classify calls.
+const maxCatCache = 1 << 16
 
 func (c *recordCtx) reset(rec *logfmt.Record, sampleOneIn uint64) {
 	c.rec = rec
@@ -74,6 +88,7 @@ func (c *recordCtx) reset(rec *logfmt.Record, sampleOneIn uint64) {
 	c.domainSet = false
 	c.userSet = false
 	c.ipSet = false
+	c.catSet = false
 }
 
 // Sampled reports the record's Dsample membership, hashed at most once.
@@ -101,6 +116,24 @@ func (c *recordCtx) UserKey() string {
 		c.userSet = true
 	}
 	return c.userKey
+}
+
+// HostCategory classifies the record's host against the category DB,
+// at most once per record and through the engine's host cache.
+func (c *recordCtx) HostCategory() categorydb.Category {
+	if !c.catSet {
+		host := c.rec.Host
+		cat, ok := c.catCache[host]
+		if !ok {
+			cat = c.catDB.Classify(host)
+			if len(c.catCache) < maxCatCache {
+				c.catCache[host] = cat
+			}
+		}
+		c.cat = cat
+		c.catSet = true
+	}
+	return c.cat
 }
 
 // IPv4 parses the host as an IPv4 literal, at most once.
@@ -183,6 +216,8 @@ func NewEngine(opt Options, metrics ...string) (*Engine, error) {
 		want[name] = true
 	}
 	e := &Engine{opt: opt, byName: make(map[string]Metric)}
+	e.cx.catDB = e.opt.Categories
+	e.cx.catCache = make(map[string]categorydb.Category)
 	for _, d := range moduleRegistry {
 		if len(metrics) > 0 && !want[d.name] {
 			continue

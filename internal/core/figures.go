@@ -51,9 +51,9 @@ type FreqSeries struct {
 // (errors) and censored traffic.
 func (e *Engine) DomainFreqDistribution() []FreqSeries {
 	dm := e.mDomains("DomainFreqDistribution")
-	mk := func(name string, c *stats.Counter) FreqSeries {
-		counts := make([]uint64, 0, c.Len())
-		samples := make([]float64, 0, c.Len())
+	mk := func(name string, c kcounter) FreqSeries {
+		var counts []uint64
+		var samples []float64
 		// Top(0) yields a sorted order, so the float summation inside
 		// FitPowerLaw is deterministic run to run.
 		for _, en := range c.Top(0) {
@@ -123,32 +123,10 @@ type UserReport struct {
 	MeanActivityOthers   float64
 }
 
-// UserAnalysis computes the Duser-based per-user view.
+// UserAnalysis computes the Duser-based per-user view (estimates when the
+// engine runs sketched).
 func (e *Engine) UserAnalysis() UserReport {
-	m := e.mUsers("UserAnalysis")
-	rep := UserReport{CensoredPerUser: make([]uint64, 16)}
-	var actC, actO []float64
-	for _, us := range m.users {
-		rep.TotalUsers++
-		if us.Censored > 0 {
-			rep.CensoredUsers++
-			bucket := int(us.Censored) - 1
-			if bucket >= len(rep.CensoredPerUser) {
-				bucket = len(rep.CensoredPerUser) - 1
-			}
-			rep.CensoredPerUser[bucket]++
-			actC = append(actC, float64(us.Total))
-		} else {
-			actO = append(actO, float64(us.Total))
-		}
-	}
-	rep.ActivityCensored = stats.NewCDF(actC)
-	rep.ActivityOthers = stats.NewCDF(actO)
-	rep.ShareActiveCensored = 1 - rep.ActivityCensored.P(100)
-	rep.ShareActiveOthers = 1 - rep.ActivityOthers.P(100)
-	rep.MeanActivityCensored = mean(actC)
-	rep.MeanActivityOthers = mean(actO)
-	return rep
+	return e.mUsers("UserAnalysis").report()
 }
 
 func mean(xs []float64) float64 {
@@ -177,11 +155,11 @@ func (e *Engine) TimeSeries(fromUnix, toUnix int64) []SeriesPoint {
 	m := e.mTimeseries("TimeSeries")
 	var out []SeriesPoint
 	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
-		slot := t / SlotSeconds
+		s := m.at(t / SlotSeconds)
 		out = append(out, SeriesPoint{
 			Unix:     t,
-			Allowed:  m.slotAllowed[slot],
-			Censored: m.slotCensored[slot],
+			Allowed:  s.allowed,
+			Censored: s.censored,
 		})
 	}
 	return out
@@ -198,9 +176,9 @@ func (e *Engine) RCV(fromUnix, toUnix int64) []RCVPoint {
 	m := e.mTimeseries("RCV")
 	var out []RCVPoint
 	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
-		slot := t / SlotSeconds
-		cens := m.slotCensored[slot]
-		total := cens + m.slotAllowed[slot]
+		s := m.at(t / SlotSeconds)
+		cens := s.censored
+		total := cens + s.allowed
 		p := RCVPoint{Unix: t}
 		if total > 0 {
 			p.RCV = float64(cens) / float64(total)
@@ -238,21 +216,22 @@ func (e *Engine) ProxyLoads() []ProxyLoad {
 // Fig 7.
 func (e *Engine) ProxyShareSeries(fromUnix, toUnix int64, censored bool) []([7]float64) {
 	m := e.mProxies("ProxyShareSeries")
-	src := m.slotTotal
-	if censored {
-		src = m.slotCensored
-	}
 	var out [][7]float64
 	for t := fromUnix - fromUnix%SlotSeconds; t < toUnix; t += SlotSeconds {
-		slot := t / SlotSeconds
 		var row [7]float64
-		var total uint64
-		for i := 0; i < logfmt.NumProxies; i++ {
-			total += src[i][slot]
-		}
-		if total > 0 {
+		if ps := m.at(t / SlotSeconds); ps != nil {
+			src := &ps.total
+			if censored {
+				src = &ps.censored
+			}
+			var total uint64
 			for i := 0; i < logfmt.NumProxies; i++ {
-				row[i] = float64(src[i][slot]) / float64(total)
+				total += src[i]
+			}
+			if total > 0 {
+				for i := 0; i < logfmt.NumProxies; i++ {
+					row[i] = float64(src[i]) / float64(total)
+				}
 			}
 		}
 		out = append(out, row)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"syriafilter/internal/categorydb"
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/statecodec"
 	"syriafilter/internal/stats"
@@ -9,8 +10,7 @@ import (
 // anonymizersMetric accumulates the §7.2 anonymizer-service host counts
 // (Figure 10).
 type anonymizersMetric struct {
-	cx  *recordCtx
-	opt *Options
+	cx *recordCtx
 
 	allowed  *stats.Counter
 	censored *stats.Counter
@@ -19,7 +19,6 @@ type anonymizersMetric struct {
 func newAnonymizersMetric(e *Engine) *anonymizersMetric {
 	return &anonymizersMetric{
 		cx:       &e.cx,
-		opt:      &e.opt,
 		allowed:  stats.NewCounter(),
 		censored: stats.NewCounter(),
 	}
@@ -28,7 +27,7 @@ func newAnonymizersMetric(e *Engine) *anonymizersMetric {
 func (m *anonymizersMetric) Name() string { return "anonymizers" }
 
 func (m *anonymizersMetric) Observe(rec *logfmt.Record) {
-	if !m.opt.Categories.IsAnonymizer(rec.Host) {
+	if m.cx.HostCategory() != categorydb.CatAnonymizer {
 		return
 	}
 	if m.cx.censored {

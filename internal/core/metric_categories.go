@@ -9,8 +9,7 @@ import (
 // categoriesMetric accumulates the category distribution of censored
 // traffic (Figure 3), on the full corpus and on Dsample.
 type categoriesMetric struct {
-	cx  *recordCtx
-	opt *Options
+	cx *recordCtx
 
 	censoredSample *stats.Counter
 	censoredFull   *stats.Counter
@@ -19,7 +18,6 @@ type categoriesMetric struct {
 func newCategoriesMetric(e *Engine) *categoriesMetric {
 	return &categoriesMetric{
 		cx:             &e.cx,
-		opt:            &e.opt,
 		censoredSample: stats.NewCounter(),
 		censoredFull:   stats.NewCounter(),
 	}
@@ -31,7 +29,7 @@ func (m *categoriesMetric) Observe(rec *logfmt.Record) {
 	if !m.cx.censored {
 		return
 	}
-	cat := string(m.opt.Categories.Classify(rec.Host))
+	cat := string(m.cx.HostCategory())
 	if _, isIP := m.cx.IPv4(); isIP {
 		cat = "Content Server" // CDNs/raw hosts; the paper's top bucket
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/statecodec"
-	"syriafilter/internal/stats"
 	"syriafilter/internal/urlx"
 )
 
@@ -12,36 +11,38 @@ import (
 // discovery algorithm (Tables 8–10 share it with the tokens module).
 type domainsMetric struct {
 	cx *recordCtx
+	e  *Engine
 
-	allowed  *stats.Counter // registered domains, allowed
-	censored *stats.Counter // registered domains, censored
-	denied   *stats.Counter // registered domains, errors
-	proxied  *stats.Counter // registered domains, served from cache
+	allowed  kcounter // registered domains, allowed
+	censored kcounter // registered domains, censored
+	denied   kcounter // registered domains, errors
+	proxied  kcounter // registered domains, served from cache
 
-	tldCensored *stats.Counter
-	tldAllowed  *stats.Counter
+	tldCensored kcounter
+	tldAllowed  kcounter
 
 	// policy_denied-only domain counts (discovery input; redirects are
 	// handled by the custom-category analysis instead), plus host-level
 	// counts: URL blacklists can target single hosts (messenger.live.com)
 	// whose registered domain stays partly allowed.
-	censoredDeny     *stats.Counter
-	hostCensoredDeny *stats.Counter
-	hostAllowed      *stats.Counter
+	censoredDeny     kcounter
+	hostCensoredDeny kcounter
+	hostAllowed      kcounter
 }
 
 func newDomainsMetric(e *Engine) *domainsMetric {
 	return &domainsMetric{
 		cx:               &e.cx,
-		allowed:          stats.NewCounter(),
-		censored:         stats.NewCounter(),
-		denied:           stats.NewCounter(),
-		proxied:          stats.NewCounter(),
-		tldCensored:      stats.NewCounter(),
-		tldAllowed:       stats.NewCounter(),
-		censoredDeny:     stats.NewCounter(),
-		hostCensoredDeny: stats.NewCounter(),
-		hostAllowed:      stats.NewCounter(),
+		e:                e,
+		allowed:          e.newCounter(),
+		censored:         e.newCounter(),
+		denied:           e.newCounter(),
+		proxied:          e.newCounter(),
+		tldCensored:      e.newCounter(),
+		tldAllowed:       e.newCounter(),
+		censoredDeny:     e.newCounter(),
+		hostCensoredDeny: e.newCounter(),
+		hostAllowed:      e.newCounter(),
 	}
 }
 
@@ -81,24 +82,34 @@ func (m *domainsMetric) Merge(other Metric) {
 }
 
 // counters returns every counter field, in the fixed encoding order.
-func (m *domainsMetric) counters() []**stats.Counter {
-	return []**stats.Counter{
+func (m *domainsMetric) counters() []*kcounter {
+	return []*kcounter{
 		&m.allowed, &m.censored, &m.denied, &m.proxied,
 		&m.tldCensored, &m.tldAllowed,
 		&m.censoredDeny, &m.hostCensoredDeny, &m.hostAllowed,
 	}
 }
 
+// EncodeState writes version 1 (exact counters, the historical layout)
+// or version 2 (sketch counters) depending on the engine mode.
 func (m *domainsMetric) EncodeState(w *statecodec.Writer) {
-	w.Byte(1)
+	if m.e.Sketched() {
+		w.Byte(2)
+	} else {
+		w.Byte(1)
+	}
 	for _, c := range m.counters() {
-		encCounter(w, *c)
+		encKCounter(w, *c)
 	}
 }
 
 func (m *domainsMetric) DecodeState(r *statecodec.Reader) {
-	checkVersion(r, "domains", 1)
+	v := checkVersion(r, "domains", 2)
 	for _, c := range m.counters() {
-		*c = decCounter(r)
+		if v == 2 {
+			*c = m.e.decKCounterSketch(r)
+		} else {
+			*c = m.e.decKCounterExact(r)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strings"
 
 	"syriafilter/internal/logfmt"
@@ -10,21 +11,34 @@ import (
 // proxiesMetric accumulates the per-proxy (SG-42..48) load, censored
 // volume, censored-domain profiles and default category labels: Table 6
 // and Figure 7.
+//
+// The per-slot series are stored as one map of per-slot arrays with a
+// one-entry cache of the last slot touched (see timeseriesMetric for the
+// rationale): on a roughly time-sorted corpus the hot path is an array
+// increment, not a map insert.
 type proxiesMetric struct {
-	cx           *recordCtx
-	total        [logfmt.NumProxies]uint64
-	censored     [logfmt.NumProxies]uint64
-	slotTotal    [logfmt.NumProxies]map[int64]uint64
-	slotCensored [logfmt.NumProxies]map[int64]uint64
-	censDomains  [logfmt.NumProxies]map[string]uint64
-	labels       [logfmt.NumProxies]map[string]uint64 // default category label sightings
+	cx          *recordCtx
+	total       [logfmt.NumProxies]uint64
+	censored    [logfmt.NumProxies]uint64
+	slots       map[int64]*proxySlot
+	censDomains [logfmt.NumProxies]map[string]uint64
+	labels      [logfmt.NumProxies]map[string]uint64 // default category label sightings
+
+	lastSlotID int64
+	lastSlot   *proxySlot
+}
+
+// proxySlot is one 5-minute bucket of per-proxy counts. Zero entries
+// mean "never observed" and are skipped when encoding, keeping the state
+// byte-compatible with the historical per-proxy-map layout.
+type proxySlot struct {
+	total    [logfmt.NumProxies]uint64
+	censored [logfmt.NumProxies]uint64
 }
 
 func newProxiesMetric(e *Engine) *proxiesMetric {
-	m := &proxiesMetric{cx: &e.cx}
+	m := &proxiesMetric{cx: &e.cx, slots: map[int64]*proxySlot{}}
 	for i := 0; i < logfmt.NumProxies; i++ {
-		m.slotTotal[i] = map[int64]uint64{}
-		m.slotCensored[i] = map[int64]uint64{}
 		m.censDomains[i] = map[string]uint64{}
 		m.labels[i] = map[string]uint64{}
 	}
@@ -33,6 +47,27 @@ func newProxiesMetric(e *Engine) *proxiesMetric {
 
 func (m *proxiesMetric) Name() string { return "proxies" }
 
+// slot returns the bucket for id, creating it if needed, through the
+// one-entry cache.
+func (m *proxiesMetric) slot(id int64) *proxySlot {
+	if m.lastSlot != nil && m.lastSlotID == id {
+		return m.lastSlot
+	}
+	s := m.slots[id]
+	if s == nil {
+		s = &proxySlot{}
+		m.slots[id] = s
+	}
+	m.lastSlotID, m.lastSlot = id, s
+	return s
+}
+
+// at returns the bucket for id without creating it (zero value when the
+// slot was never observed) — the read-side accessor for figures.
+func (m *proxiesMetric) at(id int64) *proxySlot {
+	return m.slots[id]
+}
+
 func (m *proxiesMetric) Observe(rec *logfmt.Record) {
 	sg := rec.Proxy()
 	if sg < logfmt.FirstProxy || sg > logfmt.LastProxy {
@@ -40,10 +75,11 @@ func (m *proxiesMetric) Observe(rec *logfmt.Record) {
 	}
 	pi := sg - logfmt.FirstProxy
 	m.total[pi]++
-	m.slotTotal[pi][m.cx.slot]++
+	ps := m.slot(m.cx.slot)
+	ps.total[pi]++
 	if m.cx.censored {
 		m.censored[pi]++
-		m.slotCensored[pi][m.cx.slot]++
+		ps.censored[pi]++
 		m.censDomains[pi][m.cx.Domain()]++
 	}
 	if rec.Categories != "" && !strings.Contains(rec.Categories, "Blocked") {
@@ -53,11 +89,20 @@ func (m *proxiesMetric) Observe(rec *logfmt.Record) {
 
 func (m *proxiesMetric) Merge(other Metric) {
 	o := other.(*proxiesMetric)
+	for id, os := range o.slots {
+		s := m.slots[id]
+		if s == nil {
+			s = &proxySlot{}
+			m.slots[id] = s
+		}
+		for i := 0; i < logfmt.NumProxies; i++ {
+			s.total[i] += os.total[i]
+			s.censored[i] += os.censored[i]
+		}
+	}
 	for i := 0; i < logfmt.NumProxies; i++ {
 		m.total[i] += o.total[i]
 		m.censored[i] += o.censored[i]
-		mergeI64(m.slotTotal[i], o.slotTotal[i])
-		mergeI64(m.slotCensored[i], o.slotCensored[i])
 		mergeStr(m.censDomains[i], o.censDomains[i])
 		mergeStr(m.labels[i], o.labels[i])
 	}
@@ -66,11 +111,35 @@ func (m *proxiesMetric) Merge(other Metric) {
 func (m *proxiesMetric) EncodeState(w *statecodec.Writer) {
 	w.Byte(1)
 	w.Uvarint(logfmt.NumProxies)
+	ids := make([]int64, 0, len(m.slots))
+	for id := range m.slots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Per proxy, the slot series encode as count maps that skip zero
+	// entries — byte-identical to the historical layout of one map per
+	// proxy holding only the slots that proxy observed.
+	encSeries := func(sel func(*proxySlot) uint64) {
+		n := 0
+		for _, id := range ids {
+			if sel(m.slots[id]) > 0 {
+				n++
+			}
+		}
+		w.Uvarint(uint64(n))
+		for _, id := range ids {
+			if v := sel(m.slots[id]); v > 0 {
+				w.Varint(id)
+				w.Uvarint(v)
+			}
+		}
+	}
 	for i := 0; i < logfmt.NumProxies; i++ {
+		i := i
 		w.Uvarint(m.total[i])
 		w.Uvarint(m.censored[i])
-		encI64Counts(w, m.slotTotal[i])
-		encI64Counts(w, m.slotCensored[i])
+		encSeries(func(s *proxySlot) uint64 { return s.total[i] })
+		encSeries(func(s *proxySlot) uint64 { return s.censored[i] })
 		encStrCounts(w, m.censDomains[i])
 		encStrCounts(w, m.labels[i])
 	}
@@ -82,11 +151,30 @@ func (m *proxiesMetric) DecodeState(r *statecodec.Reader) {
 		r.Failf("core: %d proxies, want %d", n, logfmt.NumProxies)
 		return
 	}
+	m.slots = map[int64]*proxySlot{}
+	m.lastSlot = nil
+	decSeries := func(i int, censored bool) {
+		n := r.Count()
+		for j := 0; j < n && r.Err() == nil; j++ {
+			id := r.Varint()
+			v := r.Uvarint()
+			s := m.slots[id]
+			if s == nil {
+				s = &proxySlot{}
+				m.slots[id] = s
+			}
+			if censored {
+				s.censored[i] = v
+			} else {
+				s.total[i] = v
+			}
+		}
+	}
 	for i := 0; i < logfmt.NumProxies && r.Err() == nil; i++ {
 		m.total[i] = r.Uvarint()
 		m.censored[i] = r.Uvarint()
-		m.slotTotal[i] = decI64Counts(r)
-		m.slotCensored[i] = decI64Counts(r)
+		decSeries(i, false)
+		decSeries(i, true)
 		m.censDomains[i] = decStrCounts(r)
 		m.labels[i] = decStrCounts(r)
 	}

@@ -3,21 +3,90 @@ package core
 import (
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/statecodec"
+	"syriafilter/internal/stats"
 )
+
+// subnetStat is the per-subnet accumulator behind Table 12. The subnet key
+// space itself is bounded (the fixed Israeli ranges), but the distinct-IP
+// sets are not — in sketch mode each set becomes a HyperLogLog so memory
+// stays constant per subnet regardless of how many client IPs appear.
+type subnetStat struct {
+	Censored, Allowed, Proxied uint64
+
+	// Exact mode.
+	CensoredIPs, AllowedIPs, ProxIPs map[uint32]struct{}
+
+	// Sketch mode.
+	CensHLL, AllowHLL, ProxHLL *stats.HyperLogLog
+}
+
+func newSubnetStat() *subnetStat {
+	return &subnetStat{
+		CensoredIPs: map[uint32]struct{}{},
+		AllowedIPs:  map[uint32]struct{}{},
+		ProxIPs:     map[uint32]struct{}{},
+	}
+}
+
+func newSubnetStatSketch(p uint8) *subnetStat {
+	return &subnetStat{
+		CensHLL:  stats.NewHyperLogLog(p),
+		AllowHLL: stats.NewHyperLogLog(p),
+		ProxHLL:  stats.NewHyperLogLog(p),
+	}
+}
+
+func (st *subnetStat) sketched() bool { return st.CensHLL != nil }
+
+// CensoredIPCount etc. report the distinct-IP counts in the stat's mode.
+func (st *subnetStat) CensoredIPCount() uint64 {
+	if st.sketched() {
+		return st.CensHLL.Estimate()
+	}
+	return uint64(len(st.CensoredIPs))
+}
+
+func (st *subnetStat) AllowedIPCount() uint64 {
+	if st.sketched() {
+		return st.AllowHLL.Estimate()
+	}
+	return uint64(len(st.AllowedIPs))
+}
+
+func (st *subnetStat) ProxiedIPCount() uint64 {
+	if st.sketched() {
+		return st.ProxHLL.Estimate()
+	}
+	return uint64(len(st.ProxIPs))
+}
 
 // subnetsMetric accumulates per-subnet request and distinct-IP counts over
 // the Israeli address ranges (Table 12).
 type subnetsMetric struct {
-	cx      *recordCtx
-	opt     *Options
-	subnets map[string]*subnetStat
+	cx       *recordCtx
+	opt      *Options
+	sketched bool
+	subnets  map[string]*subnetStat
 }
 
 func newSubnetsMetric(e *Engine) *subnetsMetric {
-	return &subnetsMetric{cx: &e.cx, opt: &e.opt, subnets: map[string]*subnetStat{}}
+	return &subnetsMetric{cx: &e.cx, opt: &e.opt, sketched: e.Sketched(), subnets: map[string]*subnetStat{}}
 }
 
 func (m *subnetsMetric) Name() string { return "subnets" }
+
+func (m *subnetsMetric) stat(subnet string) *subnetStat {
+	st := m.subnets[subnet]
+	if st == nil {
+		if m.sketched {
+			st = newSubnetStatSketch(m.opt.Sketches.Precision)
+		} else {
+			st = newSubnetStat()
+		}
+		m.subnets[subnet] = st
+	}
+	return st
+}
 
 func (m *subnetsMetric) Observe(rec *logfmt.Record) {
 	ip, isIP := m.cx.IPv4()
@@ -28,35 +97,41 @@ func (m *subnetsMetric) Observe(rec *logfmt.Record) {
 	if !ok || r.Country != "IL" {
 		return
 	}
-	st := m.subnets[r.Subnet]
-	if st == nil {
-		st = newSubnetStat()
-		m.subnets[r.Subnet] = st
-	}
+	st := m.stat(r.Subnet)
 	switch {
 	case m.cx.proxied:
 		st.Proxied++
-		st.ProxIPs[ip] = struct{}{}
+		m.addIP(st.ProxIPs, st.ProxHLL, ip)
 	case m.cx.censored:
 		st.Censored++
-		st.CensoredIPs[ip] = struct{}{}
+		m.addIP(st.CensoredIPs, st.CensHLL, ip)
 	case m.cx.allowed:
 		st.Allowed++
-		st.AllowedIPs[ip] = struct{}{}
+		m.addIP(st.AllowedIPs, st.AllowHLL, ip)
 	}
+}
+
+func (m *subnetsMetric) addIP(set map[uint32]struct{}, hll *stats.HyperLogLog, ip uint32) {
+	if m.sketched {
+		hll.AddHash(uint64(ip))
+		return
+	}
+	set[ip] = struct{}{}
 }
 
 func (m *subnetsMetric) Merge(other Metric) {
 	o := other.(*subnetsMetric)
 	for k, v := range o.subnets {
-		st := m.subnets[k]
-		if st == nil {
-			st = newSubnetStat()
-			m.subnets[k] = st
-		}
+		st := m.stat(k)
 		st.Censored += v.Censored
 		st.Allowed += v.Allowed
 		st.Proxied += v.Proxied
+		if m.sketched {
+			st.CensHLL.Merge(v.CensHLL)
+			st.AllowHLL.Merge(v.AllowHLL)
+			st.ProxHLL.Merge(v.ProxHLL)
+			continue
+		}
 		for ip := range v.CensoredIPs {
 			st.CensoredIPs[ip] = struct{}{}
 		}
@@ -70,7 +145,11 @@ func (m *subnetsMetric) Merge(other Metric) {
 }
 
 func (m *subnetsMetric) EncodeState(w *statecodec.Writer) {
-	w.Byte(1)
+	if m.sketched {
+		w.Byte(2)
+	} else {
+		w.Byte(1)
+	}
 	w.Uvarint(uint64(len(m.subnets)))
 	for _, k := range sortedStrKeys(m.subnets) {
 		st := m.subnets[k]
@@ -78,25 +157,49 @@ func (m *subnetsMetric) EncodeState(w *statecodec.Writer) {
 		w.Uvarint(st.Censored)
 		w.Uvarint(st.Allowed)
 		w.Uvarint(st.Proxied)
-		encIPSet(w, st.CensoredIPs)
-		encIPSet(w, st.AllowedIPs)
-		encIPSet(w, st.ProxIPs)
+		if m.sketched {
+			encHLL(w, st.CensHLL)
+			encHLL(w, st.AllowHLL)
+			encHLL(w, st.ProxHLL)
+		} else {
+			encIPSet(w, st.CensoredIPs)
+			encIPSet(w, st.AllowedIPs)
+			encIPSet(w, st.ProxIPs)
+		}
 	}
 }
 
 func (m *subnetsMetric) DecodeState(r *statecodec.Reader) {
-	checkVersion(r, "subnets", 1)
+	v := checkVersion(r, "subnets", 2)
+	if v == 2 && !m.sketched {
+		r.Failf("core: checkpoint carries sketch state; rebuild the engine with sketches enabled (-sketch)")
+		return
+	}
 	n := r.Count()
 	m.subnets = make(map[string]*subnetStat, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		k := r.StringRef()
-		m.subnets[k] = &subnetStat{
-			Censored:    r.Uvarint(),
-			Allowed:     r.Uvarint(),
-			Proxied:     r.Uvarint(),
-			CensoredIPs: decIPSet(r),
-			AllowedIPs:  decIPSet(r),
-			ProxIPs:     decIPSet(r),
+		st := m.stat(k)
+		st.Censored = r.Uvarint()
+		st.Allowed = r.Uvarint()
+		st.Proxied = r.Uvarint()
+		switch {
+		case v == 2:
+			st.CensHLL = decHLL(r)
+			st.AllowHLL = decHLL(r)
+			st.ProxHLL = decHLL(r)
+		case m.sketched:
+			// v1 (exact) state into a sketched engine: replay the IP
+			// sets into the HLLs.
+			for _, hll := range []*stats.HyperLogLog{st.CensHLL, st.AllowHLL, st.ProxHLL} {
+				for ip := range decIPSet(r) {
+					hll.AddHash(uint64(ip))
+				}
+			}
+		default:
+			st.CensoredIPs = decIPSet(r)
+			st.AllowedIPs = decIPSet(r)
+			st.ProxIPs = decIPSet(r)
 		}
 	}
 }

@@ -5,22 +5,24 @@ import (
 
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/statecodec"
-	"syriafilter/internal/stats"
 )
 
 // cappedCounter bounds a token vocabulary: once max distinct keys exist,
-// only already-seen keys keep counting. max <= 0 means unbounded.
+// only already-seen keys keep counting. max <= 0 means unbounded. In
+// sketch mode the cap is moot — the sketch is bounded by construction —
+// so add skips the extra lookup.
 type cappedCounter struct {
-	counter *stats.Counter
+	counter kcounter
+	exact   bool
 	max     int
 }
 
-func newCappedCounter(max int) *cappedCounter {
-	return &cappedCounter{counter: stats.NewCounter(), max: max}
+func newCappedCounter(e *Engine, max int) *cappedCounter {
+	return &cappedCounter{counter: e.newCounter(), exact: !e.Sketched(), max: max}
 }
 
 func (c *cappedCounter) add(tok string) {
-	if c.max > 0 && c.counter.Len() >= c.max && c.counter.Count(tok) == 0 {
+	if c.exact && c.max > 0 && c.counter.Distinct() >= uint64(c.max) && c.counter.Count(tok) == 0 {
 		return
 	}
 	c.counter.Add(tok)
@@ -32,6 +34,7 @@ func (c *cappedCounter) add(tok string) {
 type tokensMetric struct {
 	cx  *recordCtx
 	opt *Options
+	e   *Engine
 
 	allowed      *cappedCounter
 	proxied      *cappedCounter
@@ -42,8 +45,9 @@ func newTokensMetric(e *Engine) *tokensMetric {
 	return &tokensMetric{
 		cx:      &e.cx,
 		opt:     &e.opt,
-		allowed: newCappedCounter(e.opt.MaxTokenEntries),
-		proxied: newCappedCounter(0),
+		e:       e,
+		allowed: newCappedCounter(e, e.opt.MaxTokenEntries),
+		proxied: newCappedCounter(e, 0),
 	}
 }
 
@@ -82,9 +86,13 @@ func (m *tokensMetric) Merge(other Metric) {
 // pure function of the observed corpus even when the raw slice briefly
 // holds up to 2x the cap between compactions.
 func (m *tokensMetric) EncodeState(w *statecodec.Writer) {
-	w.Byte(1)
-	encCounter(w, m.allowed.counter)
-	encCounter(w, m.proxied.counter)
+	if m.e.Sketched() {
+		w.Byte(2)
+	} else {
+		w.Byte(1)
+	}
+	encKCounter(w, m.allowed.counter)
+	encKCounter(w, m.proxied.counter)
 	urls := m.censored()
 	w.Uvarint(uint64(len(urls)))
 	for i := range urls {
@@ -95,9 +103,14 @@ func (m *tokensMetric) EncodeState(w *statecodec.Writer) {
 }
 
 func (m *tokensMetric) DecodeState(r *statecodec.Reader) {
-	checkVersion(r, "tokens", 1)
-	m.allowed.counter = decCounter(r)
-	m.proxied.counter = decCounter(r)
+	v := checkVersion(r, "tokens", 2)
+	if v == 2 {
+		m.allowed.counter = m.e.decKCounterSketch(r)
+		m.proxied.counter = m.e.decKCounterSketch(r)
+	} else {
+		m.allowed.counter = m.e.decKCounterExact(r)
+		m.proxied.counter = m.e.decKCounterExact(r)
+	}
 	n := r.Count()
 	m.censoredURLs = make([]censoredURL, 0, n)
 	for i := 0; i < n && r.Err() == nil; i++ {

@@ -3,17 +3,45 @@ package core
 import (
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/statecodec"
+	"syriafilter/internal/stats"
 )
 
 // usersMetric accumulates per-user totals over the Duser window: Figure 4
 // and the §4 headline user numbers.
+//
+// In sketch mode the per-user map is replaced by two HyperLogLogs (distinct
+// users / distinct censored users) and two Space-Saving sketches (per-user
+// total and censored request counts), so memory stays bounded no matter how
+// many distinct user keys the corpus holds. The headline counts become HLL
+// estimates and the Fig 4 histogram/CDFs are computed over the retained
+// top-k heavy users only.
 type usersMetric struct {
-	cx    *recordCtx
+	cx *recordCtx
+
+	// Exact mode.
 	users map[string]*userStat
+
+	// Sketch mode.
+	sketched    bool
+	hllTotal    *stats.HyperLogLog
+	hllCensored *stats.HyperLogLog
+	topTotal    *stats.TopK
+	topCensored *stats.TopK
 }
 
 func newUsersMetric(e *Engine) *usersMetric {
-	return &usersMetric{cx: &e.cx, users: map[string]*userStat{}}
+	m := &usersMetric{cx: &e.cx}
+	if e.Sketched() {
+		so := e.opt.Sketches
+		m.sketched = true
+		m.hllTotal = stats.NewHyperLogLog(so.Precision)
+		m.hllCensored = stats.NewHyperLogLog(so.Precision)
+		m.topTotal = stats.NewTopK(so.TopK)
+		m.topCensored = stats.NewTopK(so.TopK)
+	} else {
+		m.users = map[string]*userStat{}
+	}
+	return m
 }
 
 func (m *usersMetric) Name() string { return "users" }
@@ -21,6 +49,15 @@ func (m *usersMetric) Name() string { return "users" }
 func (m *usersMetric) Observe(rec *logfmt.Record) {
 	key := m.cx.UserKey()
 	if key == "" {
+		return
+	}
+	if m.sketched {
+		m.hllTotal.Add(key)
+		m.topTotal.Add(key)
+		if m.cx.censored {
+			m.hllCensored.Add(key)
+			m.topCensored.Add(key)
+		}
 		return
 	}
 	us := m.users[key]
@@ -34,8 +71,35 @@ func (m *usersMetric) Observe(rec *logfmt.Record) {
 	}
 }
 
+// observeN replays an aggregated per-user record (state restore path).
+func (m *usersMetric) observeN(key string, total, censored uint64) {
+	if m.sketched {
+		m.hllTotal.Add(key)
+		m.topTotal.AddN(key, total)
+		if censored > 0 {
+			m.hllCensored.Add(key)
+			m.topCensored.AddN(key, censored)
+		}
+		return
+	}
+	us := m.users[key]
+	if us == nil {
+		us = &userStat{}
+		m.users[key] = us
+	}
+	us.Total += total
+	us.Censored += censored
+}
+
 func (m *usersMetric) Merge(other Metric) {
 	o := other.(*usersMetric)
+	if m.sketched {
+		m.hllTotal.Merge(o.hllTotal)
+		m.hllCensored.Merge(o.hllCensored)
+		m.topTotal.Merge(o.topTotal)
+		m.topCensored.Merge(o.topCensored)
+		return
+	}
 	for k, v := range o.users {
 		if mine, ok := m.users[k]; ok {
 			mine.Total += v.Total
@@ -47,7 +111,61 @@ func (m *usersMetric) Merge(other Metric) {
 	}
 }
 
+// report computes the Fig 4 / §4 user view in the metric's counting mode.
+func (m *usersMetric) report() UserReport {
+	rep := UserReport{CensoredPerUser: make([]uint64, 16)}
+	var actC, actO []float64
+	if m.sketched {
+		rep.TotalUsers = int(m.hllTotal.Estimate())
+		rep.CensoredUsers = int(m.hllCensored.Estimate())
+		// Histogram and activity CDFs over the retained heavy users: a
+		// user is "censored" when the censored sketch still tracks it.
+		m.topTotal.EachEntry(func(key string, total, _ uint64) {
+			if cens, _, ok := m.topCensored.Estimate(key); ok {
+				bucket := int(cens) - 1
+				if bucket >= len(rep.CensoredPerUser) {
+					bucket = len(rep.CensoredPerUser) - 1
+				}
+				rep.CensoredPerUser[bucket]++
+				actC = append(actC, float64(total))
+			} else {
+				actO = append(actO, float64(total))
+			}
+		})
+	} else {
+		for _, us := range m.users {
+			rep.TotalUsers++
+			if us.Censored > 0 {
+				rep.CensoredUsers++
+				bucket := int(us.Censored) - 1
+				if bucket >= len(rep.CensoredPerUser) {
+					bucket = len(rep.CensoredPerUser) - 1
+				}
+				rep.CensoredPerUser[bucket]++
+				actC = append(actC, float64(us.Total))
+			} else {
+				actO = append(actO, float64(us.Total))
+			}
+		}
+	}
+	rep.ActivityCensored = stats.NewCDF(actC)
+	rep.ActivityOthers = stats.NewCDF(actO)
+	rep.ShareActiveCensored = 1 - rep.ActivityCensored.P(100)
+	rep.ShareActiveOthers = 1 - rep.ActivityOthers.P(100)
+	rep.MeanActivityCensored = mean(actC)
+	rep.MeanActivityOthers = mean(actO)
+	return rep
+}
+
 func (m *usersMetric) EncodeState(w *statecodec.Writer) {
+	if m.sketched {
+		w.Byte(2)
+		encHLL(w, m.hllTotal)
+		encHLL(w, m.hllCensored)
+		encTopK(w, m.topTotal)
+		encTopK(w, m.topCensored)
+		return
+	}
 	w.Byte(1)
 	w.Uvarint(uint64(len(m.users)))
 	for _, k := range sortedStrKeys(m.users) {
@@ -59,11 +177,32 @@ func (m *usersMetric) EncodeState(w *statecodec.Writer) {
 }
 
 func (m *usersMetric) DecodeState(r *statecodec.Reader) {
-	checkVersion(r, "users", 1)
+	v := checkVersion(r, "users", 2)
+	if v == 2 {
+		if !m.sketched {
+			r.Failf("core: checkpoint carries sketch state; rebuild the engine with sketches enabled (-sketch)")
+			return
+		}
+		m.hllTotal = decHLL(r)
+		m.hllCensored = decHLL(r)
+		m.topTotal = decTopK(r)
+		m.topCensored = decTopK(r)
+		return
+	}
+	// v1 (exact) state: load verbatim, or replay into the sketches when
+	// this engine runs sketched — an exact checkpoint is always a valid
+	// sketch input.
 	n := r.Count()
-	m.users = make(map[string]*userStat, n)
+	if !m.sketched {
+		m.users = make(map[string]*userStat, n)
+	}
 	for i := 0; i < n && r.Err() == nil; i++ {
 		k := r.StringRef()
-		m.users[k] = &userStat{Total: r.Uvarint(), Censored: r.Uvarint()}
+		total := r.Uvarint()
+		censored := r.Uvarint()
+		if r.Err() != nil {
+			return
+		}
+		m.observeN(k, total, censored)
 	}
 }

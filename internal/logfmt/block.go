@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 )
 
@@ -16,10 +15,10 @@ import (
 // parsing at all — just boundary snapping — so a single big file is no
 // longer limited by one decoding core.
 
-// DefaultBlockSize is the target block size. Big enough that the one
-// []byte->string conversion per block (see ParseBlock) amortizes over
-// thousands of lines; small enough that a worker pool stays load-balanced
-// near the end of a file.
+// DefaultBlockSize is the target block size. Big enough that per-block
+// overhead (pool round-trips, worker handoff) amortizes over thousands
+// of lines; small enough that a worker pool stays load-balanced near
+// the end of a file.
 const DefaultBlockSize = 256 * 1024
 
 // MaxLineLen bounds a single physical line, mirroring Reader's 1 MiB
@@ -192,11 +191,12 @@ type BlockResult struct {
 }
 
 // ParseBlock decodes every line of a block, calling emit for each
-// well-formed record. The block's bytes are converted to a string exactly
-// once — one allocation amortized over the whole block, with every field
-// of every record aliasing it — which is what lets the caller Release the
-// buffer immediately after ParseBlock returns while records retain their
-// field strings.
+// well-formed record. Parsing runs directly on the block's bytes via a
+// pooled Parser (see parsebytes.go): repetitive field values resolve
+// through the parser's interning table and the high-cardinality tail is
+// materialized into one small per-record string, so no Record field ever
+// aliases blk.Data — the caller may Release the buffer the moment
+// ParseBlock returns while records retain their field strings.
 //
 // Semantics match Reader line for line: '#' comments and blank lines are
 // skipped (after trailing-\r stripping), malformed lines are counted and
@@ -205,26 +205,28 @@ type BlockResult struct {
 // Record passed to emit is reused between lines; emit must copy the
 // struct (retaining its field strings is fine) if it outlives the call.
 func ParseBlock(blk Block, strict bool, emit func(*Record)) (BlockResult, error) {
-	s := string(blk.Data)
+	p := parserPool.Get().(*Parser)
+	defer parserPool.Put(p)
+	data := blk.Data
 	var res BlockResult
 	var rec Record
 	ln := blk.FirstLine - 1
-	for len(s) > 0 {
-		var line string
-		if i := strings.IndexByte(s, '\n'); i >= 0 {
-			line, s = s[:i], s[i+1:]
+	for len(data) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
 		} else {
-			line, s = s, ""
+			line, data = data, nil
 		}
 		ln++
 		res.Lines++
 		if len(line) > 0 && line[len(line)-1] == '\r' {
 			line = line[:len(line)-1]
 		}
-		if line == "" || line[0] == '#' { // ELFF comment/header lines
+		if len(line) == 0 || line[0] == '#' { // ELFF comment/header lines
 			continue
 		}
-		if err := ParseLine(line, &rec); err != nil {
+		if err := p.ParseBytes(line, &rec); err != nil {
 			res.Malformed++
 			if strict {
 				return res, fmt.Errorf("line %d: %w", ln, err)

@@ -99,3 +99,40 @@ func FuzzBlockVsReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseBytesVsParseLine is the byte-parser's differential oracle:
+// for any line, a shared Parser (with its intern cache warm from prior
+// inputs) and the string-based ParseLine must agree on accept/reject and
+// on every field of the accepted record. This is what licenses the block
+// ingest path to use ParseBytes as a drop-in for ParseLine.
+func FuzzParseBytesVsParseLine(f *testing.F) {
+	f.Add(validSeedLine)
+	f.Add(strings.Replace(validSeedLine, "host-a.example.com", `"host,comma.example.com"`, 1))
+	f.Add(strings.Replace(validSeedLine, "/path", `"/pa""th"`, 1))
+	f.Add(strings.Replace(validSeedLine, "Mozilla/5.0", `""`, 1))
+	f.Add(strings.Replace(validSeedLine, "2011-08-03", "2011-02-29", 1))
+	f.Add(strings.Replace(validSeedLine, "82.137.200.42", "256.1.1.1", 1))
+	f.Add(strings.Replace(validSeedLine, "80", "99999", 1))
+	f.Add(`a,"b`)
+	f.Add(`"unterminated`)
+	f.Add(strings.Repeat(",", NumFields-1))
+	f.Add(strings.Repeat(",", NumFields+5))
+	f.Add("2011-13-99,25:61:61,x," + strings.Repeat("-,", 22) + "-")
+
+	p := NewParser() // shared across inputs: the intern cache must never leak one line's bytes into another's record
+	f.Fuzz(func(t *testing.T, line string) {
+		var want Record
+		werr := ParseLine(line, &want)
+		var got Record
+		gerr := p.ParseBytes([]byte(line), &got)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("accept/reject mismatch: ParseLine err=%v, ParseBytes err=%v\nline: %q", werr, gerr, line)
+		}
+		if werr != nil {
+			return
+		}
+		if got != want {
+			t.Fatalf("records differ:\nline: %q\n got %+v\nwant %+v", line, got, want)
+		}
+	})
+}

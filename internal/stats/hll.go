@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -58,6 +59,28 @@ func (h *HyperLogLog) Estimate() uint64 {
 		e = m * math.Log(m/float64(zeros))
 	}
 	return uint64(e + 0.5)
+}
+
+// Precision returns the sketch's precision p (2^p registers).
+func (h *HyperLogLog) Precision() uint8 { return h.p }
+
+// Registers returns a copy of the register array, for serialization.
+func (h *HyperLogLog) Registers() []uint8 {
+	return append([]uint8(nil), h.regs...)
+}
+
+// RestoreHyperLogLog rebuilds a sketch from a precision and register
+// array previously obtained from Registers. The register slice is copied.
+func RestoreHyperLogLog(p uint8, regs []uint8) (*HyperLogLog, error) {
+	if p < 4 || p > 16 {
+		return nil, fmt.Errorf("stats: HyperLogLog precision %d out of [4, 16]", p)
+	}
+	if len(regs) != 1<<p {
+		return nil, fmt.Errorf("stats: %d HyperLogLog registers, want %d", len(regs), 1<<p)
+	}
+	h := NewHyperLogLog(p)
+	copy(h.regs, regs)
+	return h, nil
 }
 
 // Merge folds other (same precision) into h.

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The sketches sit on the per-record ingest hot path, so their Add paths
+// must not allocate in steady state (the parse stage is held to
+// <= 1 alloc/record; the sketches must not add to that).
+
+func TestHLLAddZeroAllocs(t *testing.T) {
+	h := NewHyperLogLog(12)
+	key := "user-42-very-ordinary-key"
+	if avg := testing.AllocsPerRun(1000, func() { h.Add(key) }); avg != 0 {
+		t.Errorf("HLL.Add allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { h.AddHash(0xdeadbeef) }); avg != 0 {
+		t.Errorf("HLL.AddHash allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestTopKAddSteadyStateZeroAllocs(t *testing.T) {
+	// Steady state: the key is already tracked, so Add is one map lookup
+	// plus a counter bump. (Inserting a NEW key allocates its node; that
+	// happens at most capacity times plus once per eviction.)
+	tk := NewTopK(64)
+	for i := 0; i < 64; i++ {
+		tk.AddN(fmt.Sprintf("key-%d", i), uint64(i+2))
+	}
+	key := "key-7"
+	if avg := testing.AllocsPerRun(1000, func() { tk.Add(key) }); avg != 0 {
+		t.Errorf("TopK.Add (tracked key) allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// hllRelErr feeds n distinct keys from gen and returns the relative
+// estimate error.
+func hllRelErr(p uint8, n int, gen func(i int) string) float64 {
+	h := NewHyperLogLog(p)
+	for i := 0; i < n; i++ {
+		h.Add(gen(i))
+	}
+	return math.Abs(float64(h.Estimate())-float64(n)) / float64(n)
+}
+
+// The HLL must stay within its theoretical standard error (1.04/sqrt(m),
+// we allow 3 sigma) on adversarially structured key sets, not just on
+// uniform random hashes: sequential ids, shared long prefixes, and the
+// Zipf-ranked key shapes the corpus actually produces.
+func TestHLLErrorBoundAdversarialKeys(t *testing.T) {
+	const p = 12
+	bound := 3 * 1.04 / math.Sqrt(float64(uint64(1)<<p))
+	const n = 50000
+	cases := map[string]func(i int) string{
+		"sequential":  func(i int) string { return fmt.Sprintf("user-%08d", i) },
+		"long-prefix": func(i int) string { return fmt.Sprintf("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa%d", i) },
+		"ip-like":     func(i int) string { return fmt.Sprintf("10.%d.%d.%d", i>>16&255, i>>8&255, i&255) },
+	}
+	for name, gen := range cases {
+		if err := hllRelErr(p, n, gen); err > bound {
+			t.Errorf("%s keys: relative error %.4f exceeds 3-sigma bound %.4f", name, err, bound)
+		}
+	}
+}
+
+// Zipf-frequency streams are what the sketches actually see (domains and
+// user activity are heavy-tailed); duplicates must not skew the distinct
+// estimate.
+func TestHLLErrorBoundZipfStream(t *testing.T) {
+	const p = 12
+	bound := 3 * 1.04 / math.Sqrt(float64(uint64(1)<<p))
+	z, err := NewZipf(30000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(99)
+	h := NewHyperLogLog(p)
+	distinct := map[int]struct{}{}
+	for i := 0; i < 400000; i++ {
+		rank := z.Rank(r)
+		distinct[rank] = struct{}{}
+		h.Add(fmt.Sprintf("dom-%d.example.sy", rank))
+	}
+	n := float64(len(distinct))
+	if relErr := math.Abs(float64(h.Estimate())-n) / n; relErr > bound {
+		t.Errorf("Zipf stream: relative error %.4f exceeds 3-sigma bound %.4f (true %d, est %d)",
+			relErr, bound, len(distinct), h.Estimate())
+	}
+}
+
+// The Space-Saving sketch must recover the true heavy hitters of a Zipf
+// stream: with capacity well above k, the sketch's top-k and the exact
+// top-k overlap almost completely. The 0.9 threshold is fixed (seeded
+// stream, deterministic sketch), not tuned per run: capacity 1024 puts
+// the Space-Saving noise floor (N/capacity ~ 293) well below the rank-50
+// count (~600).
+func TestTopKZipfOverlap(t *testing.T) {
+	z, err := NewZipf(10000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(7)
+	exact := NewCounter()
+	tk := NewTopK(1024)
+	for i := 0; i < 300000; i++ {
+		key := fmt.Sprintf("key-%d", z.Rank(r))
+		exact.Add(key)
+		tk.Add(key)
+	}
+	const k = 50
+	want := map[string]bool{}
+	for _, e := range exact.Top(k) {
+		want[e.Key] = true
+	}
+	hits := 0
+	for _, e := range tk.Top(k) {
+		if want[e.Key] {
+			hits++
+		}
+	}
+	if frac := float64(hits) / k; frac < 0.9 {
+		t.Errorf("top-%d overlap %.2f, want >= 0.9", k, frac)
+	}
+	// And tracked estimates never underestimate by more than the recorded
+	// error bound permits: est - err <= true <= est.
+	tk.EachEntry(func(key string, count, errBound uint64) {
+		truth := exact.Count(key)
+		if truth > count {
+			t.Errorf("%s: estimate %d below true count %d", key, count, truth)
+		}
+		if count-errBound > truth {
+			t.Errorf("%s: estimate %d - err %d exceeds true count %d", key, count, errBound, truth)
+		}
+	})
+}
+
+func TestHLLRestoreRoundTrip(t *testing.T) {
+	h := NewHyperLogLog(10)
+	for i := 0; i < 5000; i++ {
+		h.Add(fmt.Sprintf("key-%d", i))
+	}
+	got, err := RestoreHyperLogLog(h.Precision(), h.Registers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != h.Estimate() {
+		t.Errorf("restored estimate %d != original %d", got.Estimate(), h.Estimate())
+	}
+	if _, err := RestoreHyperLogLog(3, nil); err == nil {
+		t.Error("precision 3 should fail")
+	}
+	if _, err := RestoreHyperLogLog(10, make([]uint8, 7)); err == nil {
+		t.Error("short register array should fail")
+	}
+}
+
+func TestTopKSetEntryRoundTrip(t *testing.T) {
+	src := NewTopK(32)
+	for i := 0; i < 100; i++ {
+		src.AddN(fmt.Sprintf("key-%d", i%40), uint64(i+1))
+	}
+	dst := NewTopK(src.Capacity())
+	src.EachEntry(func(key string, count, errBound uint64) {
+		if !dst.SetEntry(key, count, errBound) {
+			t.Fatalf("SetEntry(%q) refused within capacity", key)
+		}
+	})
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d entries, want %d", dst.Len(), src.Len())
+	}
+	src.EachEntry(func(key string, count, errBound uint64) {
+		c, e, ok := dst.Estimate(key)
+		if !ok || c != count || e != errBound {
+			t.Errorf("%s: restored (%d,%d,%v), want (%d,%d,true)", key, c, e, ok, count, errBound)
+		}
+	})
+	// Over-capacity insert is refused, overwrite of an existing key is not.
+	full := NewTopK(1)
+	full.SetEntry("a", 1, 0)
+	if full.SetEntry("b", 1, 0) {
+		t.Error("SetEntry beyond capacity should report false")
+	}
+	if !full.SetEntry("a", 9, 2) {
+		t.Error("SetEntry overwrite of tracked key should succeed")
+	}
+}

@@ -175,6 +175,36 @@ func (t *TopK) Top(k int) []Entry {
 // Len returns the number of tracked keys.
 func (t *TopK) Len() int { return len(t.counts) }
 
+// Capacity returns the maximum number of tracked keys.
+func (t *TopK) Capacity() int { return t.capacity }
+
+// EachEntry calls fn for every tracked key with its estimate and
+// overestimation bound, in unspecified order. For serialization and
+// error-bound reporting.
+func (t *TopK) EachEntry(fn func(key string, count, errBound uint64)) {
+	for key, node := range t.counts {
+		fn(key, node.count, node.err)
+	}
+}
+
+// SetEntry installs a tracked key with an explicit estimate and error
+// bound, for state restore. It overwrites an existing entry for key and
+// reports false (installing nothing) when a new key would exceed the
+// sketch's capacity.
+func (t *TopK) SetEntry(key string, count, errBound uint64) bool {
+	if node, ok := t.counts[key]; ok {
+		node.count, node.err = count, errBound
+		t.min = nil
+		return true
+	}
+	if len(t.counts) >= t.capacity {
+		return false
+	}
+	t.counts[key] = &tkNode{key: key, count: count, err: errBound}
+	t.min = nil
+	return true
+}
+
 // Merge folds other into t using the mergeable-summaries union (Agarwal et
 // al. 2012): a key absent from a full sketch is assiged that sketch's
 // minimum count as a conservative upper bound (true count <= min by the

@@ -4,6 +4,12 @@
 # writes the results as JSON to BENCH_core.json, so the performance
 # trajectory is tracked across PRs.
 #
+# The ingest path is additionally rerun pinned to -cpu 1,4 so the file
+# records both scaling points; those rows are named ".../cpu=N". The cpu
+# count must be folded into the recorded name because `go test` prints
+# the same benchmark name for every -cpu value (bar a "-N" suffix that
+# is omitted at GOMAXPROCS=1), which would otherwise collide the rows.
+#
 # Usage: scripts/bench.sh [benchtime]   (default 3x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,36 +17,54 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
 OUT=BENCH_core.json
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+RAWCPU=$(mktemp)
+trap 'rm -f "$RAW" "$RAWCPU"' EXIT
 
 go test -run '^$' \
   -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint' \
   -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
-# Convert `go test -bench` lines into a JSON array.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { n = 0 }
-/^Benchmark/ {
-  name = $1; sub(/-[0-9]+$/, "", name)
-  iters = $2; nsop = $3
+go test -run '^$' -bench 'BenchmarkIngestEndToEnd' -cpu 1,4 \
+  -benchtime "$BENCHTIME" -benchmem . | tee "$RAWCPU"
+
+# Convert `go test -bench` lines into one JSON array: the main run with
+# the "-N" GOMAXPROCS suffix stripped, the -cpu rerun named ".../cpu=N".
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$BENCHTIME" '
+function record(name,    i, bytes, allocs, mbs) {
   bytes = "null"; allocs = "null"; mbs = "null"
   for (i = 4; i <= NF; i++) {
     if ($(i+1) == "MB/s")      mbs = $i
     if ($(i+1) == "B/op")      bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
   }
-  line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                 name, iters, nsop, mbs, bytes, allocs)
-  rows[n++] = line
+  rows[n++] = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                      name, $2, $3, mbs, bytes, allocs)
+}
+FNR == 1 { fileno++ }
+!/^Benchmark/ { next }
+fileno == 1 {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  record(name)
+  next
+}
+{
+  # -cpu rerun: recover the cpu count from the suffix (absent at 1).
+  cpu = 1
+  name = $1
+  if (match(name, /-[0-9]+$/)) {
+    cpu = substr(name, RSTART + 1)
+    name = substr(name, 1, RSTART - 1)
+  }
+  record(name "/cpu=" cpu)
 }
 END {
   print "{"
   printf "  \"date\": \"%s\",\n", date
-  printf "  \"benchtime\": \"'"$BENCHTIME"'\",\n"
+  printf "  \"benchtime\": \"%s\",\n", benchtime
   print "  \"benchmarks\": ["
   for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n-1 ? "," : "")
   print "  ]"
   print "}"
-}' "$RAW" > "$OUT"
+}' "$RAW" "$RAWCPU" > "$OUT"
 
 echo "wrote $OUT"

@@ -141,3 +141,76 @@ restored=$(curl -sf "http://$ADDR/v1/stats" | sed 's/.*"ingested"://;s/,.*//')
 [ "$restored" -eq "$after" ] || { echo "smoke: restored $restored records, expected $after" >&2; exit 1; }
 
 echo "smoke: warm restart serves byte-identical tables from the checkpoint ($restored records)"
+
+# --- sketch mode: checkpoint -> SIGTERM -> warm restart, estimates survive ---
+#
+# Same drill with -sketch: boot a sketch-mode daemon on the corpus,
+# capture every table (including the approx-marked sketched ones), cut
+# a checkpoint via SIGTERM, restart from the checkpoint alone, and
+# require every table byte-identical — HLL registers and top-k entries
+# must round-trip exactly, not just approximately.
+kill -TERM "$pid"
+for i in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+pid=""
+
+SKCKPT="$tmp/ckpt-sketch"
+"$tmp/censord" -addr "$ADDR" -input "$inputs" -seed "$SEED" -requests "$REQUESTS" \
+  -bucket 1h -snapshot-every 0 -checkpoint "$SKCKPT" -sketch &
+pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "smoke: sketch censord exited early" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf -X POST "http://$ADDR/v1/snapshot" > /dev/null
+mkdir -p "$tmp/sketch-prekill"
+for id in $TABLES; do
+  curl -sf "http://$ADDR/v1/tables/$id" > "$tmp/sketch-prekill/table$id.json"
+done
+# Sketched experiments carry the approx marker; exact ones must not.
+grep -q '"approx":true' "$tmp/sketch-prekill/table4.json" \
+  || { echo "smoke: sketch-mode table4 not marked approx" >&2; exit 1; }
+if grep -q '"approx"' "$tmp/sketch-prekill/table1.json"; then
+  echo "smoke: exact-module table1 marked approx in sketch mode" >&2; exit 1
+fi
+# Exact-module results are byte-identical to the exact daemon's.
+diff "$tmp/batch-fig7.json" <(curl -sf "http://$ADDR/v1/figures/7") \
+  || { echo "smoke: sketch mode perturbed the exact fig7" >&2; exit 1; }
+
+kill -TERM "$pid"
+for i in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+pid=""
+[ -f "$SKCKPT/MANIFEST.json" ] || { echo "smoke: no sketch checkpoint manifest" >&2; exit 1; }
+
+"$tmp/censord" -addr "$ADDR" -seed "$SEED" -requests "$REQUESTS" \
+  -bucket 1h -snapshot-every 0 -checkpoint "$SKCKPT" -sketch &
+pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "smoke: restarted sketch censord exited early" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf -X POST "http://$ADDR/v1/snapshot" > /dev/null
+for id in $TABLES; do
+  curl -sf "http://$ADDR/v1/tables/$id" > "$tmp/sketch-postkill-table$id.json"
+  diff "$tmp/sketch-prekill/table$id.json" "$tmp/sketch-postkill-table$id.json" \
+    || { echo "smoke: sketch table$id differs after warm restart" >&2; exit 1; }
+done
+
+echo "smoke: sketch-mode warm restart serves byte-identical estimates from the checkpoint"
