@@ -3,13 +3,14 @@ package repro
 // The benchmark harness: one benchmark per paper table and figure (the
 // cost of regenerating that artifact from an analyzed corpus), the
 // end-to-end stages (generate -> filter -> analyze), and the ablations
-// called out in DESIGN.md §9.
+// called out in DESIGN.md §10.
 //
 // Run everything with:
 //
 //	go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/proxysim"
+	"syriafilter/internal/serve"
 	"syriafilter/internal/stats"
 	"syriafilter/internal/strmatch"
 	"syriafilter/internal/synth"
@@ -491,7 +493,7 @@ func BenchmarkGoogleCache(b *testing.B) {
 	})
 }
 
-// --- Ablations (DESIGN.md §9) ---
+// --- Ablations (DESIGN.md §10) ---
 
 var ablationText = "www.facebook.com/plugins/like.php?href=http%3A%2F%2Fsite-042.example.com&layout=standard&app_id=123456"
 
@@ -712,4 +714,54 @@ func BenchmarkCheckpointEncode(b *testing.B) {
 			b.Fatal("empty state")
 		}
 	}
+}
+
+// BenchmarkObsOverhead quantifies what the internal/obs instrumentation
+// costs the hot ingest path: the same block ingest into a serve.Store,
+// once with the metrics registry wired (the default) and once with
+// Config.DisableObs (the zero-value storeMetrics, whose nil counters
+// and histograms no-op). The acceptance bar is instrumented within a
+// few percent of baseline MB/s.
+func BenchmarkObsOverhead(b *testing.B) {
+	f := fixture(b)
+	var buf bytes.Buffer
+	w := logfmt.NewWriter(&buf)
+	if err := w.WriteHeader(); err != nil {
+		b.Fatal(err)
+	}
+	for i := range f.records {
+		if err := w.Write(&f.records[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	opts := benchOpts(f)
+
+	run := func(b *testing.B, disable bool) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := serve.NewStore(serve.Config{Options: opts, Shards: 4, DisableObs: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			added, _, err := st.IngestBlocks(logfmt.NewBlockReader(bytes.NewReader(data)), 0)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if added == 0 {
+				b.Fatal("empty ingest")
+			}
+			st.Close()
+			b.StartTimer()
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) { run(b, false) })
+	b.Run("baseline", func(b *testing.B) { run(b, true) })
 }

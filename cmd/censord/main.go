@@ -19,12 +19,22 @@
 //
 // Then:
 //
-//	curl localhost:8080/healthz
+//	curl localhost:8080/healthz          # liveness: ok whenever up
+//	curl localhost:8080/readyz           # readiness: 503 until boot completes
+//	curl localhost:8080/metrics          # Prometheus text exposition
 //	curl localhost:8080/v1/tables/4
 //	curl localhost:8080/v1/figures/8?format=text
 //	curl 'localhost:8080/v1/range/table4?from=2011-08-01&to=2011-08-04'
 //	curl 'localhost:8080/v1/range/fig5?from=2011-08-01&to=2011-08-07&step=24h'
 //	curl -X POST --data-binary @more.csv localhost:8080/v1/ingest?refresh=1
+//
+// The HTTP listener comes up immediately; checkpoint restore and boot
+// ingest run behind it with /readyz reporting "restoring" then
+// "loading" (503) until the first snapshot is cut. Logs are structured
+// (log/slog) — -log-level selects verbosity, -log-format text|json the
+// encoding — and every request is access-logged with an X-Request-ID.
+// -debug-addr serves net/http/pprof on a second, separately bindable
+// listener so profilers never share the public port.
 //
 // Ingested records are partitioned into -bucket wide time buckets (by
 // record time, see internal/timewin), which is what /v1/range merges on
@@ -49,7 +59,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -60,6 +72,7 @@ import (
 
 	"syriafilter/internal/bittorrent"
 	"syriafilter/internal/core"
+	"syriafilter/internal/obs"
 	"syriafilter/internal/serve"
 	"syriafilter/internal/synth"
 )
@@ -82,8 +95,17 @@ func main() {
 		sketch     = flag.Bool("sketch", false, "bounded-memory mode: users/domains/subnets/tokens run on HLL + top-k sketches (results marked approx)")
 		sketchP    = flag.Uint("sketch-precision", core.DefaultSketchPrecision, "HLL precision p with -sketch (2^p registers, ~1.04/sqrt(2^p) error)")
 		sketchK    = flag.Int("sketch-topk", core.DefaultSketchTopK, "space-saving capacity per frequency table with -sketch")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		debugAddr  = flag.String("debug-addr", "", "optional listen address serving /debug/pprof on its own listener (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	gen, err := synth.New(synth.Config{Seed: *seed, TotalRequests: *requests})
 	if err != nil {
@@ -122,67 +144,103 @@ func main() {
 		fatal(err)
 	}
 
-	// Warm restart: fold the last good checkpoint back in before any
-	// boot-time ingest. A missing manifest is a normal cold boot; a
-	// damaged checkpoint is logged and ignored (cold boot) rather than
-	// fatal — the daemon's job is to come back up.
-	if *ckptDir != "" {
-		switch info, err := store.Restore(*ckptDir); {
-		case err == nil:
-			logf("checkpoint: restored %d records from %s/%s (created %s)",
-				info.Records, *ckptDir, info.Generation,
-				time.Unix(info.CreatedUnix, 0).UTC().Format(time.RFC3339))
-		case errors.Is(err, serve.ErrNoCheckpoint):
-			logf("checkpoint: none in %s, cold boot", *ckptDir)
-		default:
-			logf("checkpoint: WARNING: restore failed (%v); cold boot", err)
-		}
-	}
+	// The listener comes up before restore and boot ingest: /healthz and
+	// /metrics answer immediately, /readyz holds 503 ("restoring", then
+	// "loading") until the boot goroutine cuts the first snapshot.
+	ready := serve.NewReadiness("restoring")
+	stop := make(chan struct{})
+	var loops sync.WaitGroup // watch + checkpoint loops, started once ready
+	var boot sync.WaitGroup
+	boot.Add(1)
+	go func() {
+		defer boot.Done()
 
-	seen := map[string]bool{}
-	if *input != "" {
-		var paths []string
-		for _, path := range strings.Split(*input, ",") {
-			path = strings.TrimSpace(path)
-			paths = append(paths, path)
-			// Cleaned, so the watch loop (which joins dir + name) does not
-			// re-ingest a boot file spelled differently on the flag.
-			seen[filepath.Clean(path)] = true
+		// Warm restart: fold the last good checkpoint back in before any
+		// boot-time ingest. A missing manifest is a normal cold boot; a
+		// damaged checkpoint is logged and ignored (cold boot) rather than
+		// fatal — the daemon's job is to come back up.
+		if *ckptDir != "" {
+			switch info, err := store.Restore(*ckptDir); {
+			case err == nil:
+				logger.Info("checkpoint restored", "records", info.Records,
+					"generation", info.Generation,
+					"created", time.Unix(info.CreatedUnix, 0).UTC().Format(time.RFC3339))
+			case errors.Is(err, serve.ErrNoCheckpoint):
+				logger.Info("no checkpoint, cold boot", "dir", *ckptDir)
+			default:
+				logger.Warn("checkpoint restore failed, cold boot", "err", err)
+			}
 		}
-		n, err := ingestFiles(store, paths)
-		if err != nil {
+
+		ready.Set("loading")
+		seen := map[string]bool{}
+		if *input != "" {
+			var paths []string
+			for _, path := range strings.Split(*input, ",") {
+				path = strings.TrimSpace(path)
+				paths = append(paths, path)
+				// Cleaned, so the watch loop (which joins dir + name) does not
+				// re-ingest a boot file spelled differently on the flag.
+				seen[filepath.Clean(path)] = true
+			}
+			n, err := ingestFiles(logger, store, paths)
+			if err != nil {
+				fatal(err)
+			}
+			logger.Info("boot ingest complete", "records", n, "files", len(paths))
+		}
+		if _, err := store.Refresh(); err != nil {
 			fatal(err)
 		}
-		logf("ingested %d records from %d files", n, len(paths))
-	}
-	if _, err := store.Refresh(); err != nil {
-		fatal(err)
-	}
+		ready.Set("ok")
+		logger.Info("ready")
 
-	stopWatch := make(chan struct{})
-	var watchWG sync.WaitGroup
-	if *watch != "" {
-		watchWG.Add(1)
-		go func() {
-			defer watchWG.Done()
-			watchLoop(store, *watch, *watchEvery, seen, stopWatch)
-		}()
-		logf("watching %s every %s", *watch, *watchEvery)
-	}
-	if *ckptDir != "" && *ckptEvery > 0 {
-		watchWG.Add(1)
-		go func() {
-			defer watchWG.Done()
-			checkpointLoop(store, *ckptDir, *ckptEvery, stopWatch)
-		}()
-		logf("checkpointing into %s every %s", *ckptDir, *ckptEvery)
-	}
+		if *watch != "" {
+			loops.Add(1)
+			go func() {
+				defer loops.Done()
+				watchLoop(logger, store, *watch, *watchEvery, seen, stop)
+			}()
+			logger.Info("watching", "dir", *watch, "every", *watchEvery)
+		}
+		if *ckptDir != "" && *ckptEvery > 0 {
+			loops.Add(1)
+			go func() {
+				defer loops.Done()
+				checkpointLoop(logger, store, *ckptDir, *ckptEvery, stop)
+			}()
+			logger.Info("checkpointing", "dir", *ckptDir, "every", *ckptEvery)
+		}
+	}()
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(store, gen)}
+	handler := serve.NewServer(store, gen,
+		serve.WithLogger(logger), serve.WithReadiness(ready))
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logf("serving on %s (%d shards, %s buckets, retain %s, snapshot every %s)",
-		*addr, store.Stats().Shards, *bucket, *retain, *snapEvery)
+	logger.Info("serving", "addr", *addr, "shards", store.Stats().Shards,
+		"bucket", *bucket, "retain", *retain, "snapshot_every", *snapEvery)
+
+	// pprof lives on its own listener so profiles are reachable (and
+	// firewallable) independently of the public API port, and never
+	// routable from it. Explicit handlers, not DefaultServeMux: nothing
+	// else can sneak onto this mux.
+	var dsrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+		logger.Info("pprof", "addr", *debugAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -192,22 +250,27 @@ func main() {
 			fatal(err)
 		}
 	case sig := <-sigc:
-		logf("received %s, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		srv.Shutdown(ctx)
+		if dsrv != nil {
+			dsrv.Shutdown(ctx)
+		}
 		cancel()
 	}
-	close(stopWatch)
-	watchWG.Wait()
+	boot.Wait() // an in-flight boot ingest finishes before the store closes
+	close(stop)
+	loops.Wait()
 	if *ckptDir != "" {
 		// Final checkpoint: the store flushes every acked batch before
 		// cutting it, so a graceful shutdown persists everything
 		// POST /v1/ingest acknowledged.
 		info, err := store.CloseAndCheckpoint(*ckptDir)
 		if err != nil {
-			logf("checkpoint: WARNING: final checkpoint failed: %v", err)
+			logger.Warn("final checkpoint failed", "err", err)
 		} else {
-			logf("checkpoint: wrote %s (%d records, %d bytes)", info.Generation, info.Records, info.Bytes)
+			logger.Info("final checkpoint", "generation", info.Generation,
+				"records", info.Records, "bytes", info.Bytes)
 		}
 	} else {
 		store.Close()
@@ -216,7 +279,7 @@ func main() {
 
 // checkpointLoop cuts a checkpoint every interval until stop closes
 // (the final shutdown checkpoint is CloseAndCheckpoint's job).
-func checkpointLoop(store *serve.Store, dir string, every time.Duration, stop <-chan struct{}) {
+func checkpointLoop(logger *slog.Logger, store *serve.Store, dir string, every time.Duration, stop <-chan struct{}) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
@@ -226,10 +289,11 @@ func checkpointLoop(store *serve.Store, dir string, every time.Duration, stop <-
 		case <-tick.C:
 			info, err := store.Checkpoint(dir)
 			if err != nil {
-				logf("checkpoint: %v", err)
+				logger.Warn("checkpoint failed", "err", err)
 				continue
 			}
-			logf("checkpoint: wrote %s (%d records, %d bytes)", info.Generation, info.Records, info.Bytes)
+			logger.Info("checkpoint", "generation", info.Generation,
+				"records", info.Records, "bytes", info.Bytes)
 		}
 	}
 }
@@ -238,10 +302,10 @@ func checkpointLoop(store *serve.Store, dir string, every time.Duration, stop <-
 // path: one block-reader goroutine per file, line splitting and parsing
 // spread across the worker pool, the store's shards parallelizing the
 // analysis side.
-func ingestFiles(store *serve.Store, paths []string) (uint64, error) {
+func ingestFiles(logger *slog.Logger, store *serve.Store, paths []string) (uint64, error) {
 	added, malformed, err := store.IngestFiles(paths, 0)
 	if malformed > 0 {
-		logf("skipped %d malformed lines", malformed)
+		logger.Warn("skipped malformed lines", "count", malformed)
 	}
 	return added, err
 }
@@ -251,7 +315,7 @@ func ingestFiles(store *serve.Store, paths []string) (uint64, error) {
 // ingested once its size has held still for a full poll interval (a
 // producer may still be appending), and a failed ingest is retried on
 // later polls instead of being marked seen.
-func watchLoop(store *serve.Store, dir string, every time.Duration, seen map[string]bool, stop <-chan struct{}) {
+func watchLoop(logger *slog.Logger, store *serve.Store, dir string, every time.Duration, seen map[string]bool, stop <-chan struct{}) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	sizes := map[string]int64{} // last observed size of not-yet-ingested files
@@ -263,7 +327,7 @@ func watchLoop(store *serve.Store, dir string, every time.Duration, seen map[str
 		}
 		entries, err := os.ReadDir(dir)
 		if err != nil {
-			logf("watch: %v", err)
+			logger.Warn("watch", "err", err)
 			continue
 		}
 		ingested := false
@@ -283,28 +347,23 @@ func watchLoop(store *serve.Store, dir string, every time.Duration, seen map[str
 				sizes[path] = info.Size() // first sighting or still growing
 				continue
 			}
-			n, err := ingestFiles(store, []string{path})
+			n, err := ingestFiles(logger, store, []string{path})
 			if err != nil {
-				logf("watch: %s: %v (will retry)", path, err)
+				logger.Warn("watch ingest failed, will retry", "path", path, "err", err)
 				delete(sizes, path) // restart the stability window
 				continue
 			}
 			seen[path] = true
 			delete(sizes, path)
-			logf("watch: ingested %d records from %s", n, path)
+			logger.Info("watch ingested", "records", n, "path", path)
 			ingested = true
 		}
 		if ingested {
 			if _, err := store.Refresh(); err != nil {
-				logf("watch: snapshot: %v", err)
+				logger.Warn("watch snapshot failed", "err", err)
 			}
 		}
 	}
-}
-
-func logf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "censord: %s %s\n",
-		time.Now().UTC().Format("15:04:05"), fmt.Sprintf(format, args...))
 }
 
 func fatal(err error) {

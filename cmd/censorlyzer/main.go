@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,12 +48,17 @@ import (
 	"syriafilter/internal/bittorrent"
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/obs"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/proxysim"
 	"syriafilter/internal/render"
 	"syriafilter/internal/synth"
 	"syriafilter/internal/timewin"
 )
+
+// logger carries the batch run's structured diagnostics (results go to
+// stdout, diagnostics to stderr); main replaces it per the -log flags.
+var logger = slog.Default()
 
 func main() {
 	var (
@@ -70,8 +76,17 @@ func main() {
 		sketch   = flag.Bool("sketch", false, "bounded-memory mode: users/domains/subnets/tokens run on HLL + top-k sketches (results marked approx)")
 		sketchP  = flag.Uint("sketch-precision", core.DefaultSketchPrecision, "HLL precision p with -sketch (2^p registers, ~1.04/sqrt(2^p) error)")
 		sketchK  = flag.Int("sketch-topk", core.DefaultSketchTopK, "space-saving capacity per frequency table with -sketch")
+		logLevel = flag.String("log-level", "info", "diagnostic log verbosity: debug, info, warn or error")
+		logFmt   = flag.String("log-format", "text", "diagnostic log encoding: text or json")
 	)
 	flag.Parse()
+
+	l, err := obs.NewLogger(os.Stderr, *logLevel, *logFmt)
+	if err != nil {
+		fatal(err)
+	}
+	logger = l
+	slog.SetDefault(l)
 
 	if *sketch {
 		sketchOpt = core.SketchOptions{Enabled: true, Precision: uint8(*sketchP), TopK: *sketchK}
@@ -110,7 +125,7 @@ func main() {
 				// An id known to this binary but not to core's experiment
 				// table: run the full engine so output stays correct, but
 				// say that the subset optimization was lost.
-				fmt.Fprintf(os.Stderr, "censorlyzer: subset selection disabled (%v); running the full engine\n", err)
+				logger.Warn("subset selection disabled; running the full engine", "err", err)
 			} else {
 				metrics = mods
 			}
@@ -143,7 +158,7 @@ func main() {
 		if err := writeStateFile(*saveF, an.Engine); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "censorlyzer: saved engine state to %s\n", *saveF)
+		logger.Info("saved engine state", "path", *saveF)
 	}
 
 	cx := render.Context{An: an, Gen: gen}
@@ -301,7 +316,7 @@ func analyze(gen *synth.Generator, input string, seed uint64, workers int, metri
 		return nil, err
 	}
 	if stats.Malformed > 0 {
-		fmt.Fprintf(os.Stderr, "censorlyzer: skipped %d malformed lines\n", stats.Malformed)
+		logger.Warn("skipped malformed lines", "count", stats.Malformed)
 	}
 	return an, nil
 }

@@ -90,6 +90,14 @@ func (m *domainsMetric) counters() []*kcounter {
 	}
 }
 
+func (m *domainsMetric) sketchSizes() SketchSizes {
+	var s SketchSizes
+	for _, c := range m.counters() {
+		s.add(kcounterSizes(*c))
+	}
+	return s
+}
+
 // EncodeState writes version 1 (exact counters, the historical layout)
 // or version 2 (sketch counters) depending on the engine mode.
 func (m *domainsMetric) EncodeState(w *statecodec.Writer) {

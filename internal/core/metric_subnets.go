@@ -119,6 +119,15 @@ func (m *subnetsMetric) addIP(set map[uint32]struct{}, hll *stats.HyperLogLog, i
 	set[ip] = struct{}{}
 }
 
+func (m *subnetsMetric) sketchSizes() SketchSizes {
+	if !m.sketched {
+		return SketchSizes{}
+	}
+	// No frequency sketches here: each subnet carries three distinct-IP
+	// HyperLogLogs (censored / allowed / proxied).
+	return SketchSizes{HLLs: 3 * len(m.subnets)}
+}
+
 func (m *subnetsMetric) Merge(other Metric) {
 	o := other.(*subnetsMetric)
 	for k, v := range o.subnets {

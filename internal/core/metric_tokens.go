@@ -71,6 +71,13 @@ func (m *tokensMetric) Observe(rec *logfmt.Record) {
 	}
 }
 
+func (m *tokensMetric) sketchSizes() SketchSizes {
+	var s SketchSizes
+	s.add(kcounterSizes(m.allowed.counter))
+	s.add(kcounterSizes(m.proxied.counter))
+	return s
+}
+
 func (m *tokensMetric) Merge(other Metric) {
 	o := other.(*tokensMetric)
 	m.allowed.counter.Merge(o.allowed.counter)

@@ -111,6 +111,17 @@ func (m *usersMetric) Merge(other Metric) {
 	}
 }
 
+func (m *usersMetric) sketchSizes() SketchSizes {
+	if !m.sketched {
+		return SketchSizes{}
+	}
+	return SketchSizes{
+		TopKEntries:  m.topTotal.Len() + m.topCensored.Len(),
+		TopKCapacity: m.topTotal.Capacity() + m.topCensored.Capacity(),
+		HLLs:         2,
+	}
+}
+
 // report computes the Fig 4 / §4 user view in the metric's counting mode.
 func (m *usersMetric) report() UserReport {
 	rep := UserReport{CensoredPerUser: make([]uint64, 16)}

@@ -70,6 +70,52 @@ func UsesSketchedModules(id string) bool {
 	return false
 }
 
+// SketchSizes summarizes one module's live sketch footprint for the
+// observability layer: retained Space-Saving entries vs. capacity, and
+// the number of HyperLogLog sketches (each 2^precision registers).
+type SketchSizes struct {
+	TopKEntries  int
+	TopKCapacity int
+	HLLs         int
+}
+
+func (s *SketchSizes) add(o SketchSizes) {
+	s.TopKEntries += o.TopKEntries
+	s.TopKCapacity += o.TopKCapacity
+	s.HLLs += o.HLLs
+}
+
+// sketchSizer is implemented by the sketchable modules so SketchStats
+// can aggregate without knowing each module's layout.
+type sketchSizer interface {
+	sketchSizes() SketchSizes
+}
+
+// SketchStats reports the live sketch footprint per module. It returns
+// nil when the engine runs exact (nothing is sketched). The caller owns
+// the map; internal/serve samples it on every /metrics scrape against
+// the current snapshot engine.
+func (e *Engine) SketchStats() map[string]SketchSizes {
+	if !e.Sketched() {
+		return nil
+	}
+	out := map[string]SketchSizes{}
+	for _, name := range e.Metrics() {
+		if s, ok := e.Metric(name).(sketchSizer); ok {
+			out[name] = s.sketchSizes()
+		}
+	}
+	return out
+}
+
+// kcounterSizes reports a kcounter's sketch footprint (zero for exact).
+func kcounterSizes(c kcounter) SketchSizes {
+	if sc, ok := c.(*sketchCounter); ok {
+		return SketchSizes{TopKEntries: sc.topk.Len(), TopKCapacity: sc.topk.Capacity(), HLLs: 1}
+	}
+	return SketchSizes{}
+}
+
 // kcounter is the counting abstraction behind the sketchable frequency
 // tables: an exact map-backed stats.Counter, or a bounded Space-Saving
 // top-k paired with a HyperLogLog for the distinct count. Observe paths

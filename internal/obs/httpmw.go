@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics is one route's pre-resolved instrument set: request
+// counters by status class, an in-flight gauge and a latency histogram.
+// Resolving them once per route at wiring time keeps the per-request
+// path free of map lookups and label formatting.
+type HTTPMetrics struct {
+	byClass  [6]*Counter // index = status/100 (1xx..5xx; 0 catches the rest)
+	inFlight *Gauge
+	latency  *Histogram
+	route    string
+}
+
+var statusClasses = [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// NewHTTPMetrics registers the per-route HTTP series on r:
+//
+//	http_requests_total{route, code}   counter
+//	http_in_flight{route}              gauge
+//	http_request_seconds{route}        histogram
+func NewHTTPMetrics(r *Registry, route string) *HTTPMetrics {
+	m := &HTTPMetrics{route: route}
+	for i, class := range statusClasses {
+		m.byClass[i] = r.Counter("http_requests_total",
+			"HTTP requests by route and status class.", "route", route, "code", class)
+	}
+	m.inFlight = r.Gauge("http_in_flight", "In-flight HTTP requests by route.", "route", route)
+	m.latency = r.Histogram("http_request_seconds",
+		"HTTP request latency by route.", nil, "route", route)
+	return m
+}
+
+// statusWriter captures the response status and size for metrics and
+// access logs. It deliberately implements only the core interface plus
+// Flush: the API serves buffered JSON/text, so ReaderFrom/Hijacker
+// passthrough is not needed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// reqSeq numbers requests within this process; combined with the boot
+// nanotime it yields process-unique request ids without coordination.
+var (
+	reqSeq  atomic.Uint64
+	bootID  = uint64(time.Now().UnixNano()) & 0xffffff
+	reqIDFn = func() string { return fmt.Sprintf("%06x-%08x", bootID, reqSeq.Add(1)) }
+)
+
+// Middleware wraps next with the route's metrics and, when logger is
+// non-nil, a structured access log line per request carrying a
+// process-unique request id (also exposed to the client as
+// X-Request-ID, and honored when the client supplies one).
+func Middleware(m *HTTPMetrics, logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = reqIDFn()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		class := status / 100
+		if class < 1 || class > 5 {
+			class = 0
+		}
+		m.byClass[class].Inc()
+		m.latency.Observe(elapsed.Seconds())
+
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "http",
+				slog.String("id", reqID),
+				slog.String("method", r.Method),
+				slog.String("route", m.route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("dur", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddleware(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "/v1/thing/{id}")
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	h := Middleware(m, logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m.inFlight.Value() != 1 {
+			t.Errorf("in_flight during request = %d, want 1", m.inFlight.Value())
+		}
+		if r.URL.Path == "/v1/thing/miss" {
+			http.Error(w, "no", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/thing/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Error("no X-Request-ID header")
+	}
+	resp2, err := http.Get(srv.URL + "/v1/thing/miss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id2 := resp2.Header.Get("X-Request-ID"); id2 == id {
+		t.Error("request ids not unique")
+	}
+
+	// Caller-supplied ids are honored (trace propagation).
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/thing/1", nil)
+	req.Header.Set("X-Request-ID", "caller-id-7")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Request-ID"); got != "caller-id-7" {
+		t.Errorf("X-Request-ID = %q, want caller-supplied caller-id-7", got)
+	}
+
+	if n := m.byClass[2].Value(); n != 2 {
+		t.Errorf("2xx counter = %d, want 2", n)
+	}
+	if n := m.byClass[4].Value(); n != 1 {
+		t.Errorf("4xx counter = %d, want 1", n)
+	}
+	if m.inFlight.Value() != 0 {
+		t.Errorf("in_flight after requests = %d, want 0", m.inFlight.Value())
+	}
+	if m.latency.Count() != 3 {
+		t.Errorf("latency observations = %d, want 3", m.latency.Count())
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{`"route":"/v1/thing/{id}"`, `"status":404`, `"id":"caller-id-7"`} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("access log missing %s in:\n%s", want, logs)
+		}
+	}
+}
+
+// TestMiddlewareNilLogger: metrics without access logging.
+func TestMiddlewareNilLogger(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "/x")
+	h := Middleware(m, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/x", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if m.byClass[2].Value() != 1 {
+		t.Errorf("2xx counter = %d, want 1", m.byClass[2].Value())
+	}
+}

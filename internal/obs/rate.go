@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// rateSlots is the ring size; it must exceed the largest window Rate is
+// asked for, so a slot is always either inside the window or stale.
+const rateSlots = 16
+
+// RateWindow tracks a windowed byte (or event) rate: additions are
+// bucketed into one-second ring slots and Rate averages the slots that
+// fall inside the last `window` seconds. Unlike a lifetime
+// bytes/uptime average, the reported rate decays to zero ~window
+// seconds after traffic stops — which is what makes /v1/stats'
+// ingest_mb_per_s mean "now", not "since boot".
+//
+// Adds take a mutex; callers add per block (~256 KiB), not per record,
+// so contention is negligible. A nil *RateWindow is a no-op.
+type RateWindow struct {
+	mu   sync.Mutex
+	secs [rateSlots]int64
+	vals [rateSlots]uint64
+}
+
+// Add counts n at the current time.
+func (r *RateWindow) Add(n uint64) { r.addAt(time.Now().Unix(), n) }
+
+func (r *RateWindow) addAt(now int64, n uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	slot := now % rateSlots
+	if r.secs[slot] != now {
+		r.secs[slot] = now
+		r.vals[slot] = 0
+	}
+	r.vals[slot] += n
+	r.mu.Unlock()
+}
+
+// Rate returns the per-second rate over the last window seconds
+// (window is clamped to [1, rateSlots-1]).
+func (r *RateWindow) Rate(window int) float64 { return r.rateAt(time.Now().Unix(), window) }
+
+func (r *RateWindow) rateAt(now int64, window int) float64 {
+	if r == nil {
+		return 0
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window > rateSlots-1 {
+		window = rateSlots - 1
+	}
+	var sum uint64
+	r.mu.Lock()
+	for i := 0; i < rateSlots; i++ {
+		if age := now - r.secs[i]; age >= 0 && age < int64(window) {
+			sum += r.vals[i]
+		}
+	}
+	r.mu.Unlock()
+	return float64(sum) / float64(window)
+}

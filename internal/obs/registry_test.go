@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExposition is the golden test for the text format:
+// counters, gauges, labeled series, func-backed series and the
+// histogram triplet, with families sorted by name and label values
+// escaped.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("d_requests_total", "Requests.", "route", "/v1/x", "code", "2xx").Add(3)
+	r.Counter("d_requests_total", "Requests.", "route", "/v1/x", "code", "5xx").Add(1)
+	r.Gauge("d_in_flight", "In flight.").Set(2)
+	r.GaugeFunc("d_queue_depth", "Depth.", func() float64 { return 7 }, "shard", "0")
+	r.CounterFunc("d_sampled_total", "Sampled.", func() float64 { return 12.5 })
+	h := r.Histogram("d_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.Counter("d_escaped_total", "Esc.", "path", `a"b\c`+"\n").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP d_escaped_total Esc.
+# TYPE d_escaped_total counter
+d_escaped_total{path="a\"b\\c\n"} 1
+# HELP d_in_flight In flight.
+# TYPE d_in_flight gauge
+d_in_flight 2
+# HELP d_latency_seconds Latency.
+# TYPE d_latency_seconds histogram
+d_latency_seconds_bucket{le="0.01"} 1
+d_latency_seconds_bucket{le="0.1"} 3
+d_latency_seconds_bucket{le="1"} 3
+d_latency_seconds_bucket{le="+Inf"} 4
+d_latency_seconds_sum 5.105
+d_latency_seconds_count 4
+# HELP d_queue_depth Depth.
+# TYPE d_queue_depth gauge
+d_queue_depth{shard="0"} 7
+# HELP d_requests_total Requests.
+# TYPE d_requests_total counter
+d_requests_total{route="/v1/x",code="2xx"} 3
+d_requests_total{route="/v1/x",code="5xx"} 1
+# HELP d_sampled_total Sampled.
+# TYPE d_sampled_total counter
+d_sampled_total 12.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryIdentity: the same (name, labels) resolves to the same
+// metric object, and different labels to different ones.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "k", "1")
+	b := r.Counter("x_total", "", "k", "1")
+	c := r.Counter("x_total", "", "k", "2")
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "", []float64{1, 2})
+	h2 := r.Histogram("h_seconds", "", nil)
+	if h1 != h2 {
+		t.Error("re-registration returned a distinct histogram")
+	}
+}
+
+func TestRegistryTypeClash(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as counter and gauge should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("clash", "")
+	r.Gauge("clash", "")
+}
+
+// TestSnapshot checks the JSON-ready structure /v1/stats embeds:
+// unlabeled series flatten to a scalar, labeled families to a
+// labels-to-value map, histograms to a quantile summary — and the whole
+// thing must marshal.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(5)
+	r.Counter("b_total", "", "shard", "0").Add(1)
+	r.Counter("b_total", "", "shard", "1").Add(2)
+	h := r.Histogram("lat_seconds", "", []float64{1, 2, 4})
+	h.Observe(1.5)
+	h.Observe(3)
+
+	snap := r.Snapshot()
+	if v, ok := snap["a_total"].(uint64); !ok || v != 5 {
+		t.Errorf("a_total = %#v, want uint64 5", snap["a_total"])
+	}
+	bm, ok := snap["b_total"].(map[string]any)
+	if !ok || bm[`shard="1"`] != uint64(2) {
+		t.Errorf("b_total = %#v, want labeled map with shard=\"1\" -> 2", snap["b_total"])
+	}
+	hs, ok := snap["lat_seconds"].(snapshotHist)
+	if !ok || hs.Count != 2 {
+		t.Errorf("lat_seconds = %#v, want snapshotHist with Count 2", snap["lat_seconds"])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats per second, so the
+// several runtime gauges sampled by a single scrape pay one
+// stop-the-world, not one each.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	mem  runtime.MemStats
+	once bool
+}
+
+func (s *memSampler) sample() *runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.once || time.Since(s.at) > time.Second {
+		runtime.ReadMemStats(&s.mem)
+		s.at = time.Now()
+		s.once = true
+	}
+	return &s.mem
+}
+
+// RegisterRuntime registers Go runtime gauges (goroutines, heap, GC)
+// sampled at scrape time. Names follow the conventional go_* prefix so
+// standard Grafana dashboards pick them up.
+func RegisterRuntime(r *Registry) {
+	ms := &memSampler{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(ms.sample().HeapAlloc) })
+	r.GaugeFunc("go_heap_sys_bytes", "Bytes of heap obtained from the OS.",
+		func() float64 { return float64(ms.sample().HeapSys) })
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(ms.sample().HeapObjects) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(ms.sample().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(ms.sample().PauseTotalNs) / 1e9 })
+	r.CounterFunc("go_alloc_bytes_total", "Cumulative bytes allocated.",
+		func() float64 { return float64(ms.sample().TotalAlloc) })
+}

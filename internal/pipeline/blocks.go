@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"syriafilter/internal/logfmt"
 )
@@ -32,6 +33,24 @@ type BlockStats struct {
 	// Bytes is the number of raw log bytes consumed (post-decompression
 	// for gzip sources), which is what throughput reporting divides by.
 	Bytes uint64
+}
+
+// BlockObs is an optional per-block observation hook for the block
+// ingestion layer. After each block parses, OnBlock receives that one
+// block's counters and its wall-clock parse duration in seconds — the
+// raw feed for live ingest metrics (records/s, byte rates, parse-stage
+// latency). Calls arrive from whichever goroutine parsed the block, so
+// OnBlock must be safe for concurrent use; a nil *BlockObs disables the
+// hook, and the only per-block cost of the disabled path is a nil check.
+type BlockObs struct {
+	OnBlock func(blk BlockStats, seconds float64)
+}
+
+func (o *BlockObs) observe(blk BlockStats, seconds float64) {
+	if o == nil || o.OnBlock == nil {
+		return
+	}
+	o.OnBlock(blk, seconds)
 }
 
 // BlockSource is one block stream plus its error-attribution context.
@@ -72,6 +91,12 @@ func RunBlocks[A any](br *logfmt.BlockReader, n int, newAcc func() A, observe fu
 // source's, in srcs order; within one source, the earliest failing line
 // wins, so strict-mode errors match a serial scan of that source.
 func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, BlockStats, error) {
+	return RunBlockSourcesObs(srcs, n, nil, newAcc, observe, merge)
+}
+
+// RunBlockSourcesObs is RunBlockSources with a per-block observation
+// hook; see BlockObs. A nil obs behaves exactly like RunBlockSources.
+func RunBlockSourcesObs[A any](srcs []*BlockSource, n int, obs *BlockObs, newAcc func() A, observe func(A, *logfmt.Record), merge func(dst, src A)) (A, BlockStats, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
@@ -89,14 +114,27 @@ func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe
 			if !ok {
 				break
 			}
+			var t0 time.Time
+			if obs != nil {
+				t0 = time.Now()
+			}
 			res, err := logfmt.ParseBlock(blk, src.Strict, func(rec *logfmt.Record) {
 				observe(acc, rec)
 			})
-			stats.Bytes += uint64(len(blk.Data))
+			one := BlockStats{
+				Lines:     uint64(res.Lines),
+				Records:   uint64(res.Records),
+				Malformed: uint64(res.Malformed),
+				Bytes:     uint64(len(blk.Data)),
+			}
 			blk.Release()
-			stats.Lines += uint64(res.Lines)
-			stats.Records += uint64(res.Records)
-			stats.Malformed += uint64(res.Malformed)
+			if obs != nil {
+				obs.observe(one, time.Since(t0).Seconds())
+			}
+			stats.Bytes += one.Bytes
+			stats.Lines += one.Lines
+			stats.Records += one.Records
+			stats.Malformed += one.Malformed
 			if err != nil {
 				return acc, stats, wrapPath(src.Path, err)
 			}
@@ -148,15 +186,28 @@ func RunBlockSources[A any](srcs []*BlockSource, n int, newAcc func() A, observe
 			acc := newAcc()
 			for it := range items {
 				src := srcs[it.src]
+				var t0 time.Time
+				if obs != nil {
+					t0 = time.Now()
+				}
 				res, err := logfmt.ParseBlock(it.blk, src.Strict, func(rec *logfmt.Record) {
 					observe(acc, rec)
 				})
 				firstLine := it.blk.FirstLine
-				nbytes.Add(uint64(len(it.blk.Data)))
+				one := BlockStats{
+					Lines:     uint64(res.Lines),
+					Records:   uint64(res.Records),
+					Malformed: uint64(res.Malformed),
+					Bytes:     uint64(len(it.blk.Data)),
+				}
 				it.blk.Release()
-				lines.Add(uint64(res.Lines))
-				records.Add(uint64(res.Records))
-				malformed.Add(uint64(res.Malformed))
+				if obs != nil {
+					obs.observe(one, time.Since(t0).Seconds())
+				}
+				nbytes.Add(one.Bytes)
+				lines.Add(one.Lines)
+				records.Add(one.Records)
+				malformed.Add(one.Malformed)
 				if err != nil {
 					failMu.Lock()
 					if fails[it.src].err == nil || firstLine < fails[it.src].firstLine {

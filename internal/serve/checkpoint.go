@@ -90,6 +90,7 @@ func (st *Store) Checkpoint(dir string) (CheckpointInfo, error) {
 func (st *Store) checkpoint(dir string) (CheckpointInfo, error) {
 	st.ckptMu.Lock()
 	defer st.ckptMu.Unlock()
+	t0 := time.Now()
 
 	seq := st.ckptSeq.Add(1)
 	gen := fmt.Sprintf("gen-%08d", seq)
@@ -161,6 +162,8 @@ func (st *Store) checkpoint(dir string) (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 	st.lastCkpt.Store(&info)
+	st.obsm.checkpoints.Inc()
+	st.obsm.checkpointWrite.Observe(time.Since(t0).Seconds())
 	pruneGenerations(dir, gen)
 	return info, nil
 }
@@ -277,6 +280,9 @@ func pruneGenerations(dir, keep string) {
 // are not convertible); the stored module subset must cover the
 // store's (see core.Engine.UnmarshalState).
 func (st *Store) Restore(dir string) (CheckpointInfo, error) {
+	st.restoring.Store(true)
+	defer st.restoring.Store(false)
+	t0 := time.Now()
 	m, err := readManifest(dir)
 	if err != nil {
 		return CheckpointInfo{}, err
@@ -335,6 +341,8 @@ func (st *Store) Restore(dir string) (CheckpointInfo, error) {
 	// is cut.
 	st.ckptSeq.Store(m.Seq)
 	st.lastCkpt.Store(&m.CheckpointInfo)
+	st.obsm.restores.Inc()
+	st.obsm.restoreSeconds.Observe(time.Since(t0).Seconds())
 	return m.CheckpointInfo, nil
 }
 

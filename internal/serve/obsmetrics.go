@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"syriafilter/internal/core"
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/obs"
+	"syriafilter/internal/pipeline"
+	"syriafilter/internal/timewin"
+)
+
+// storeMetrics holds the store's event-driven instruments. Every field
+// is a nil-safe obs object, so the zero value (Config.DisableObs) is a
+// complete set of no-ops — the ingest and checkpoint paths carry one
+// code path whether or not the store is instrumented, which is exactly
+// what BenchmarkObsOverhead compares.
+type storeMetrics struct {
+	blocks       *obs.Counter
+	records      *obs.Counter
+	malformed    *obs.Counter
+	bytes        *obs.Counter
+	parseSeconds *obs.Histogram
+	backpressure *obs.Histogram
+
+	snapshots       *obs.Counter
+	snapshotSeconds *obs.Histogram
+
+	compactions      *obs.Counter
+	compactedBuckets *obs.Counter
+	compactSeconds   *obs.Histogram
+
+	checkpoints     *obs.Counter
+	checkpointWrite *obs.Histogram
+	restores        *obs.Counter
+	restoreSeconds  *obs.Histogram
+}
+
+func newStoreMetrics(r *obs.Registry) storeMetrics {
+	return storeMetrics{
+		blocks: r.Counter("censord_ingest_blocks_total",
+			"Line-aligned blocks parsed by the block ingest paths."),
+		records: r.Counter("censord_ingest_records_total",
+			"Well-formed records parsed by the block ingest paths."),
+		malformed: r.Counter("censord_ingest_malformed_total",
+			"Malformed lines skipped by the block ingest paths."),
+		bytes: r.Counter("censord_ingest_bytes_total",
+			"Raw log bytes consumed by the block ingest paths (post-gunzip)."),
+		parseSeconds: r.Histogram("censord_ingest_parse_seconds",
+			"Per-block parse latency.", nil),
+		backpressure: r.Histogram("censord_ingest_backpressure_seconds",
+			"Time Add spent blocked on a full shard queue (0 = enqueued immediately).", nil),
+
+		snapshots: r.Counter("censord_snapshot_cuts_total",
+			"Snapshot rebuilds (Refresh calls that completed)."),
+		snapshotSeconds: r.Histogram("censord_snapshot_build_seconds",
+			"Snapshot build duration.", nil),
+
+		compactions: r.Counter("censord_timewin_compactions_total",
+			"Retention compaction passes across all shard partitions."),
+		compactedBuckets: r.Counter("censord_timewin_compacted_buckets_total",
+			"Live buckets merged into the all-time tail by compaction."),
+		compactSeconds: r.Histogram("censord_timewin_compact_seconds",
+			"Compaction pass duration.", nil),
+
+		checkpoints: r.Counter("censord_checkpoint_writes_total",
+			"Checkpoints written."),
+		checkpointWrite: r.Histogram("censord_checkpoint_write_seconds",
+			"Checkpoint write duration (all shards, fsyncs included).", nil),
+		restores: r.Counter("censord_checkpoint_restores_total",
+			"Checkpoints restored."),
+		restoreSeconds: r.Histogram("censord_checkpoint_restore_seconds",
+			"Checkpoint restore duration (decode and fold).", nil),
+	}
+}
+
+// blockObsHook adapts the store's ingest instruments to the pipeline's
+// per-block hook, and feeds the windowed byte-rate as blocks complete
+// (so a long streaming POST moves ingest_mb_per_s while still running).
+func (st *Store) blockObsHook() *pipeline.BlockObs {
+	return &pipeline.BlockObs{OnBlock: func(b pipeline.BlockStats, seconds float64) {
+		st.obsm.blocks.Inc()
+		st.obsm.records.Add(b.Records)
+		st.obsm.malformed.Add(b.Malformed)
+		st.obsm.bytes.Add(b.Bytes)
+		st.obsm.parseSeconds.Observe(seconds)
+		st.rate.Add(b.Bytes)
+	}}
+}
+
+// partitionObsHook adapts the shared compaction instruments to
+// timewin's hook. Compactions run on shard goroutines concurrently;
+// the obs objects are atomic, so one shared hook serves every shard.
+func (st *Store) partitionObsHook() *timewin.PartitionObs {
+	return &timewin.PartitionObs{OnCompact: func(buckets int, seconds float64) {
+		st.obsm.compactions.Inc()
+		st.obsm.compactedBuckets.Add(uint64(buckets))
+		st.obsm.compactSeconds.Observe(seconds)
+	}}
+}
+
+// registerObsFuncs registers the scrape-sampled series: state another
+// subsystem already maintains (record totals, queue depths, checkpoint
+// generation, sketch footprints) read through closures at scrape time
+// instead of being double-counted on the hot path.
+func (st *Store) registerObsFuncs(r *obs.Registry) {
+	r.CounterFunc("censord_store_records_total",
+		"Records folded into the store, restored checkpoints included "+
+			"(monotone across a warm restart).",
+		func() float64 { return float64(st.ingested.Load()) })
+	r.GaugeFunc("censord_store_shards", "Configured shard count.",
+		func() float64 { return float64(len(st.shards)) })
+	for i, sh := range st.shards {
+		sh := sh
+		r.GaugeFunc("censord_shard_queue_depth",
+			"Batches and ops waiting in each shard's channel.",
+			func() float64 { return float64(len(sh.msgs)) },
+			"shard", strconv.Itoa(i))
+	}
+
+	r.GaugeFunc("censord_snapshot_seq", "Sequence number of the published snapshot.",
+		func() float64 { return float64(st.Current().Seq) })
+	r.GaugeFunc("censord_snapshot_records", "Records folded into the published snapshot.",
+		func() float64 { return float64(st.Current().Records) })
+
+	r.GaugeFunc("censord_timewin_live_buckets",
+		"Distinct live time buckets across shards, at the published snapshot.",
+		func() float64 { return float64(len(st.Current().Timewin.Buckets)) })
+	r.GaugeFunc("censord_timewin_tail_records",
+		"Records compacted into the all-time tail, at the published snapshot.",
+		func() float64 { return float64(st.Current().Timewin.TailRecords) })
+
+	r.GaugeFunc("censord_checkpoint_generation",
+		"Generation sequence of the last written or restored checkpoint "+
+			"(restores continue the restored sequence).",
+		func() float64 { return float64(st.ckptSeq.Load()) })
+	r.GaugeFunc("censord_checkpoint_bytes", "Size of the last checkpoint.",
+		func() float64 {
+			if ck := st.lastCkpt.Load(); ck != nil {
+				return float64(ck.Bytes)
+			}
+			return 0
+		})
+
+	for _, mod := range core.SketchedModules {
+		mod := mod
+		r.GaugeFunc("censord_sketch_topk_entries",
+			"Retained Space-Saving entries per module (0 when exact).",
+			func() float64 { return float64(st.sketchSizes(mod).TopKEntries) },
+			"module", mod)
+		r.GaugeFunc("censord_sketch_topk_capacity",
+			"Space-Saving capacity per module (0 when exact).",
+			func() float64 { return float64(st.sketchSizes(mod).TopKCapacity) },
+			"module", mod)
+		r.GaugeFunc("censord_sketch_hlls",
+			"Live HyperLogLog sketches per module (0 when exact).",
+			func() float64 { return float64(st.sketchSizes(mod).HLLs) },
+			"module", mod)
+	}
+
+	r.CounterFunc("censord_intern_strings_total",
+		"Strings added to the parser interning tables (process-wide, cold path only).",
+		func() float64 { s, _ := logfmt.InternStats(); return float64(s) })
+	r.CounterFunc("censord_intern_bytes_total",
+		"Bytes retained by the parser interning tables (process-wide).",
+		func() float64 { _, b := logfmt.InternStats(); return float64(b) })
+}
+
+// sketchSizes samples one module's sketch footprint from the published
+// snapshot (the merged representative of every shard engine).
+func (st *Store) sketchSizes(module string) core.SketchSizes {
+	return st.Current().An.Engine.SketchStats()[module]
+}
+
+// Readiness is the serving-state signal behind GET /readyz, distinct
+// from /healthz liveness: a daemon restoring a checkpoint or replaying
+// boot files is alive but not ready. The zero state is "ok"; a nil
+// *Readiness always reads ready, so wiring it is optional.
+type Readiness struct {
+	state atomic.Pointer[string]
+}
+
+// NewReadiness builds a readiness signal in the given state.
+func NewReadiness(state string) *Readiness {
+	r := &Readiness{}
+	r.Set(state)
+	return r
+}
+
+// Set publishes a new state ("restoring", "loading", "ok", ...).
+func (r *Readiness) Set(state string) {
+	if r == nil {
+		return
+	}
+	r.state.Store(&state)
+}
+
+// State returns the current state; nil or unset reads "ok".
+func (r *Readiness) State() string {
+	if r == nil {
+		return "ok"
+	}
+	if s := r.state.Load(); s != nil {
+		return *s
+	}
+	return "ok"
+}
+
+// Ready reports whether the state is "ok".
+func (r *Readiness) Ready() bool { return r.State() == "ok" }

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/obs"
 	"syriafilter/internal/render"
 	"syriafilter/internal/synth"
 	"syriafilter/internal/timewin"
@@ -21,7 +23,9 @@ import (
 // Server is the HTTP query API over a Store:
 //
 //	GET  /healthz                     liveness + snapshot freshness
-//	GET  /v1/stats                    store counters
+//	GET  /readyz                      readiness (503 while restoring/loading)
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /v1/stats                    store counters (+ "obs" metric snapshot)
 //	GET  /v1/experiments              experiment index (id, kind, title, modules)
 //	GET  /v1/experiments/{id}         any experiment (table4, fig8, https, ...)
 //	GET  /v1/tables/{id}              tables only; "table4" or bare "4"
@@ -35,27 +39,63 @@ import (
 // bodies are the render.Doc encoding — byte-identical to
 // `censorlyzer -json` over the same records, which is what the CI smoke
 // test diffs.
+//
+// Unless the store runs with DisableObs, every route is wrapped in the
+// obs middleware: per-route request/status-class counters, an in-flight
+// gauge, a latency histogram, and (with WithLogger) a structured access
+// log line per request carrying an X-Request-ID.
 type Server struct {
-	store *Store
-	gen   *synth.Generator
-	mux   *http.ServeMux
-	start time.Time
+	store  *Store
+	gen    *synth.Generator
+	mux    *http.ServeMux
+	start  time.Time
+	logger *slog.Logger
+	ready  *Readiness
 }
+
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithLogger sets the structured logger for per-request access logs
+// (nil disables them, the default).
+func WithLogger(l *slog.Logger) ServerOption { return func(s *Server) { s.logger = l } }
+
+// WithReadiness wires an external readiness signal into GET /readyz,
+// letting the daemon report "restoring"/"loading" during boot. Without
+// it /readyz follows only the store's own restore state.
+func WithReadiness(r *Readiness) ServerOption { return func(s *Server) { s.ready = r } }
 
 // NewServer wires the routes. gen is the optional ground-truth world;
 // without it the generator-requiring experiments (probing, groundtruth)
 // answer 422.
-func NewServer(store *Store, gen *synth.Generator) *Server {
+func NewServer(store *Store, gen *synth.Generator, opts ...ServerOption) *Server {
 	s := &Server{store: store, gen: gen, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleIndex)
-	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
-	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
-	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
-	s.mux.HandleFunc("GET /v1/range/{id}", s.handleRange)
-	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	for _, opt := range opts {
+		opt(s)
+	}
+	reg := store.Registry()
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		if reg == nil {
+			s.mux.Handle(pattern, h)
+			return
+		}
+		s.mux.Handle(pattern, obs.Middleware(obs.NewHTTPMetrics(reg, route), s.logger, h))
+	}
+	handle("GET /healthz", "/healthz", s.handleHealth)
+	handle("GET /readyz", "/readyz", s.handleReady)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("GET /v1/experiments", "/v1/experiments", s.handleIndex)
+	handle("GET /v1/experiments/{id}", "/v1/experiments/{id}", s.handleExperiment)
+	handle("GET /v1/tables/{id}", "/v1/tables/{id}", s.handleTable)
+	handle("GET /v1/figures/{id}", "/v1/figures/{id}", s.handleFigure)
+	handle("GET /v1/range/{id}", "/v1/range/{id}", s.handleRange)
+	handle("POST /v1/ingest", "/v1/ingest", s.handleIngest)
+	handle("POST /v1/snapshot", "/v1/snapshot", s.handleSnapshot)
+	if reg != nil {
+		// The scrape itself is instrumented too — http_requests_total
+		// {route="/metrics"} shows scraper health.
+		handle("GET /metrics", "/metrics", s.handleMetrics)
+	}
 	return s
 }
 
@@ -78,6 +118,9 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleHealth is the liveness probe: it answers 200 "ok" whenever the
+// process can serve HTTP at all, even mid-restore. Readiness — is this
+// instance safe to route traffic to — is /readyz's question.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -88,6 +131,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"snapshot_records": snap.Records,
 		"snapshot_age_sec": int64(time.Since(snap.Built).Seconds()),
 	})
+}
+
+// handleReady is the readiness probe: 503 with the blocking state
+// ("restoring" during a checkpoint restore, whatever the wired
+// Readiness reports during boot) and 200 {"status":"ok"} once the
+// instance should receive traffic.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	state := s.ready.State() // nil-safe: no signal wired reads "ok"
+	if state == "ok" && s.store.Restoring() {
+		state = "restoring"
+	}
+	status := http.StatusOK
+	if state != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"status": state})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.store.Registry().WritePrometheus(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -27,6 +27,7 @@ import (
 
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/obs"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/stats"
 	"syriafilter/internal/timewin"
@@ -54,6 +55,14 @@ type Config struct {
 	// bucket by more than this are compacted into the frozen all-time
 	// tail, bounding live memory. 0 keeps every bucket live.
 	Retain time.Duration
+	// Registry receives the store's metrics. nil builds a fresh registry
+	// (reachable via Store.Registry). One store per registry: a second
+	// store would overwrite the first's sampled series.
+	Registry *obs.Registry
+	// DisableObs turns off all instrumentation: no registry, nil metric
+	// objects (whose methods are no-ops), no per-block hooks. This is
+	// the benchmark baseline, not an expected production setting.
+	DisableObs bool
 }
 
 // Snapshot is one immutable point-in-time view of the store. Its
@@ -75,8 +84,12 @@ type Snapshot struct {
 // Stats summarizes a Store for monitoring. IngestedBytes and
 // IngestMBPerS only cover the block ingest paths (IngestBlocks,
 // IngestFiles, POST /v1/ingest); records delivered through Add or
-// IngestScanner have no byte representation to count. Timewin is the
-// bucket layout of the latest snapshot.
+// IngestScanner have no byte representation to count. IngestMBPerS is
+// a windowed rate — bytes over the last ~10 seconds — so it reads the
+// daemon's current load, not a lifetime average diluted by idle time.
+// Timewin is the bucket layout of the latest snapshot. Obs is the full
+// metric registry snapshot (the JSON face of GET /metrics); absent
+// when the store runs with DisableObs.
 type Stats struct {
 	Shards          int      `json:"shards"`
 	Metrics         []string `json:"metrics"`
@@ -92,12 +105,13 @@ type Stats struct {
 	SnapshotAgeS int64 `json:"snapshot_age_s"`
 	// CheckpointAgeS is the age of the last written or restored
 	// checkpoint, -1 when none exists yet.
-	CheckpointAgeS       int64        `json:"checkpoint_age_s"`
-	CheckpointBytes      int64        `json:"checkpoint_bytes,omitempty"`
-	CheckpointGeneration string       `json:"checkpoint_generation,omitempty"`
-	IngestedBytes        uint64       `json:"ingested_bytes"`
-	IngestMBPerS         float64      `json:"ingest_mb_per_s"`
-	Timewin              timewin.Meta `json:"timewin"`
+	CheckpointAgeS       int64          `json:"checkpoint_age_s"`
+	CheckpointBytes      int64          `json:"checkpoint_bytes,omitempty"`
+	CheckpointGeneration string         `json:"checkpoint_generation,omitempty"`
+	IngestedBytes        uint64         `json:"ingested_bytes"`
+	IngestMBPerS         float64        `json:"ingest_mb_per_s"`
+	Timewin              timewin.Meta   `json:"timewin"`
+	Obs                  map[string]any `json:"obs,omitempty"`
 }
 
 // shardMsg is one unit of shard work: either a batch to observe or a
@@ -149,8 +163,13 @@ type Store struct {
 	ingested  atomic.Uint64
 	refreshMu sync.Mutex // serializes snapshot builds
 
-	ingestedBytes atomic.Uint64 // raw log bytes through the block paths
-	ingestNanos   atomic.Int64  // wall time spent in block ingest calls
+	ingestedBytes atomic.Uint64   // raw log bytes through the block paths
+	rate          *obs.RateWindow // windowed byte rate behind ingest_mb_per_s
+
+	reg       *obs.Registry      // nil when DisableObs
+	obsm      storeMetrics       // zero value (all no-ops) when DisableObs
+	blockObs  *pipeline.BlockObs // nil when DisableObs
+	restoring atomic.Bool        // a checkpoint restore is in flight
 
 	ckptSeq  atomic.Uint64                  // checkpoint generation counter
 	lastCkpt atomic.Pointer[CheckpointInfo] // most recent written or restored checkpoint
@@ -176,7 +195,17 @@ func NewStore(cfg Config) (*Store, error) {
 	if cfg.Bucket <= 0 {
 		cfg.Bucket = time.Hour
 	}
-	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), start: time.Now(), stop: make(chan struct{})}
+	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), start: time.Now(), stop: make(chan struct{}), rate: &obs.RateWindow{}}
+	var twObs *timewin.PartitionObs
+	if !cfg.DisableObs {
+		st.reg = cfg.Registry
+		if st.reg == nil {
+			st.reg = obs.NewRegistry()
+		}
+		st.obsm = newStoreMetrics(st.reg)
+		st.blockObs = st.blockObsHook()
+		twObs = st.partitionObsHook()
+	}
 	var retainBuckets int64
 	for i := 0; i < cfg.Shards; i++ {
 		p, err := timewin.New(timewin.Config{
@@ -184,6 +213,7 @@ func NewStore(cfg Config) (*Store, error) {
 			Metrics: cfg.Metrics,
 			Bucket:  cfg.Bucket,
 			Retain:  cfg.Retain,
+			Obs:     twObs,
 		})
 		if err != nil {
 			for _, sh := range st.shards {
@@ -206,6 +236,10 @@ func NewStore(cfg Config) (*Store, error) {
 		BucketSeconds: st.bucketSecs,
 		RetainBuckets: int(retainBuckets),
 	}})
+	if st.reg != nil {
+		st.registerObsFuncs(st.reg)
+		obs.RegisterRuntime(st.reg)
+	}
 	if cfg.SnapshotEvery > 0 {
 		st.wg.Add(1)
 		go st.refreshLoop(cfg.SnapshotEvery)
@@ -253,8 +287,19 @@ func (st *Store) Add(recs []logfmt.Record) uint64 {
 		buckets[b] = append(buckets[b], recs[i])
 	}
 	for i, b := range buckets {
-		if len(b) > 0 {
+		if len(b) == 0 {
+			continue
+		}
+		// Backpressure visibility: the fast path (queue has room) records
+		// a zero wait, the contended path times the blocking send. The
+		// semantics — block, never drop — are unchanged.
+		select {
+		case st.shards[i].msgs <- shardMsg{batch: b}:
+			st.obsm.backpressure.Observe(0)
+		default:
+			t0 := time.Now()
 			st.shards[i].msgs <- shardMsg{batch: b}
+			st.obsm.backpressure.Observe(time.Since(t0).Seconds())
 		}
 	}
 	st.ingested.Add(uint64(len(recs)))
@@ -328,8 +373,7 @@ func (st *Store) IngestFiles(paths []string, workers int) (added, malformed uint
 }
 
 func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (uint64, uint64, error) {
-	start := time.Now()
-	out, stats, err := pipeline.RunBlockSources(srcs, workers,
+	out, stats, err := pipeline.RunBlockSourcesObs(srcs, workers, st.blockObs,
 		func() *ingestAcc {
 			return &ingestAcc{st: st, batch: make([]logfmt.Record, 0, pipeline.BatchSize)}
 		},
@@ -338,7 +382,11 @@ func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (
 	)
 	out.flush()
 	st.ingestedBytes.Add(stats.Bytes)
-	st.ingestNanos.Add(int64(time.Since(start)))
+	if st.blockObs == nil {
+		// Uninstrumented stores still get a (coarser, per-call) windowed
+		// rate so /v1/stats stays meaningful.
+		st.rate.Add(stats.Bytes)
+	}
 	return out.added, stats.Malformed, err
 }
 
@@ -364,6 +412,7 @@ func (st *Store) Refresh() (*Snapshot, error) {
 		st.mu.RUnlock()
 		return nil, err
 	}
+	t0 := time.Now()
 	var records uint64
 	var meta timewin.Meta
 	for _, sh := range st.shards {
@@ -384,8 +433,19 @@ func (st *Store) Refresh() (*Snapshot, error) {
 		Timewin: meta,
 	}
 	st.snap.Store(snap)
+	st.obsm.snapshots.Inc()
+	st.obsm.snapshotSeconds.Observe(time.Since(t0).Seconds())
 	return snap, nil
 }
+
+// Registry returns the store's metric registry (nil with DisableObs).
+// Serve it at GET /metrics; Server does this automatically.
+func (st *Store) Registry() *obs.Registry { return st.reg }
+
+// Restoring reports whether a checkpoint restore is in flight — the
+// store answers queries (against whatever is already folded) but a
+// readiness probe should report not-ready.
+func (st *Store) Restoring() bool { return st.restoring.Load() }
 
 // ErrClosed is returned by range queries against a closed store (the
 // last published snapshot keeps serving all-time queries, but the shard
@@ -550,13 +610,9 @@ func (st *Store) Stats() Stats {
 		metrics = core.AllMetrics()
 	}
 	bytes := st.ingestedBytes.Load()
-	var mbps float64
-	if nanos := st.ingestNanos.Load(); nanos > 0 {
-		// Cumulative busy-time throughput: bytes over the *summed* wall
-		// time of every block ingest call, so overlapping concurrent
-		// ingests report per-call, not aggregate, bandwidth.
-		mbps = math.Round(float64(bytes)/1e6/(float64(nanos)/1e9)*100) / 100
-	}
+	// Windowed rate: block-ingest bytes over the last ~10 seconds. An
+	// idle daemon reads 0 no matter how much it ingested at boot.
+	mbps := math.Round(st.rate.Rate(10)/1e6*100) / 100
 	out := Stats{
 		Shards:          len(st.shards),
 		Metrics:         metrics,
@@ -575,6 +631,9 @@ func (st *Store) Stats() Stats {
 		out.CheckpointAgeS = int64(time.Since(time.Unix(ck.CreatedUnix, 0)).Seconds())
 		out.CheckpointBytes = ck.Bytes
 		out.CheckpointGeneration = ck.Generation
+	}
+	if st.reg != nil {
+		out.Obs = st.reg.Snapshot()
 	}
 	return out
 }

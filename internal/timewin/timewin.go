@@ -139,6 +139,18 @@ func (e *RetentionError) Error() string {
 		time.Unix(e.HorizonUnix, 0).UTC().Format(time.RFC3339))
 }
 
+// PartitionObs receives compaction events from a Partition. Compaction
+// happens inline on the Observe path (the partition is single-threaded
+// by contract), so OnCompact is called from whatever goroutine owns the
+// partition; a nil *PartitionObs disables the hook at no cost beyond
+// the horizon check compact already does.
+type PartitionObs struct {
+	// OnCompact is called after each compaction pass that merged at
+	// least one bucket into the tail, with the number of buckets merged
+	// and the pass's wall-clock duration in seconds.
+	OnCompact func(buckets int, seconds float64)
+}
+
 // Config configures a Partition.
 type Config struct {
 	// Options configures every bucket engine (and the tail).
@@ -153,6 +165,8 @@ type Config struct {
 	// bucket by more than this are compacted into the tail. It is rounded
 	// up to a whole number of buckets. 0 keeps every bucket live forever.
 	Retain time.Duration
+	// Obs, when non-nil, receives compaction events.
+	Obs *PartitionObs
 }
 
 // BucketMeta describes one live bucket.
@@ -263,6 +277,8 @@ type Partition struct {
 	tailMin, tailMax int64 // bucket-index span covered by the tail
 
 	spare *core.Engine // validated engine from New, consumed by the first bucket
+
+	obs *PartitionObs
 }
 
 // New builds an empty partition. The engine construction also validates
@@ -290,6 +306,7 @@ func New(cfg Config) (*Partition, error) {
 		retainBuckets: retain,
 		live:          map[int64]*bucket{},
 		spare:         spare,
+		obs:           cfg.Obs,
 	}, nil
 }
 
@@ -363,6 +380,14 @@ func (p *Partition) compact() {
 		return
 	}
 	horizon := p.order[len(p.order)-1] - p.retainBuckets + 1
+	if p.order[0] >= horizon {
+		return
+	}
+	var t0 time.Time
+	if p.obs != nil && p.obs.OnCompact != nil {
+		t0 = time.Now()
+	}
+	merged := 0
 	for len(p.order) > 0 && p.order[0] < horizon {
 		idx := p.order[0]
 		b := p.live[idx]
@@ -380,6 +405,10 @@ func (p *Partition) compact() {
 		}
 		delete(p.live, idx)
 		p.order = p.order[1:]
+		merged++
+	}
+	if merged > 0 && p.obs != nil && p.obs.OnCompact != nil {
+		p.obs.OnCompact(merged, time.Since(t0).Seconds())
 	}
 }
 

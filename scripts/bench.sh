@@ -21,7 +21,7 @@ RAWCPU=$(mktemp)
 trap 'rm -f "$RAW" "$RAWCPU"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint' \
+  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint|BenchmarkObsOverhead' \
   -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 go test -run '^$' -bench 'BenchmarkIngestEndToEnd' -cpu 1,4 \

@@ -3,21 +3,47 @@
 # file gzipped to exercise transparent decompression; the generator
 # spreads record timestamps across the paper's capture window, so
 # temporal queries are non-degenerate), boot the daemon on it, poll
-# /healthz, and diff the JSON of one table and one figure endpoint —
-# plus /v1/range over the full window and a bucket-aligned sub-window —
-# against `censorlyzer -json` over the same corpus — the two front ends
-# must be byte-identical.
+# /readyz until the boot ingest completes, and diff the JSON of one
+# table and one figure endpoint — plus /v1/range over the full window
+# and a bucket-aligned sub-window — against `censorlyzer -json` over
+# the same corpus — the two front ends must be byte-identical.
 #
 # Then the warm-restart path: SIGTERM the daemon (cutting a final
 # checkpoint after flushing acked ingest), restart it from -checkpoint
 # alone (no -input), and diff every /v1/tables/{id} against the
-# pre-kill snapshot.
+# pre-kill snapshot. /metrics is scraped on both sides of the restart:
+# the ingest/HTTP/checkpoint series must be present, and the
+# store-record total and checkpoint generation must carry across the
+# restart monotonically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEED=7
 REQUESTS=20000
 ADDR=127.0.0.1:8077
+
+# wait_ready polls /readyz until the daemon reports ok. The listener is
+# up (and /healthz answers) while the boot goroutine is still restoring
+# or ingesting, so query assertions must gate on readiness, not liveness.
+wait_ready() { # $1 = pid, $2 = what
+  for i in $(seq 1 150); do
+    if curl -sf "http://$ADDR/readyz" > /dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$1" 2>/dev/null; then
+      echo "smoke: $2 exited early" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  echo "smoke: $2 never became ready" >&2
+  exit 1
+}
+
+# mval extracts one sample value from a Prometheus exposition dump.
+mval() { # $1 = file, $2 = series name
+  awk -v s="$2" '$1 == s { print $2; exit }' "$1"
+}
 
 tmp=$(mktemp -d)
 pid=""
@@ -50,17 +76,10 @@ CKPT="$tmp/ckpt"
   -bucket 1h -snapshot-every 0 -checkpoint "$CKPT" &
 pid=$!
 
-for i in $(seq 1 50); do
-  if curl -sf "http://$ADDR/healthz" > "$tmp/health.json" 2>/dev/null; then
-    break
-  fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "smoke: censord exited early" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+wait_ready "$pid" "censord"
+curl -sf "http://$ADDR/healthz" > "$tmp/health.json"
 grep -q '"status":"ok"' "$tmp/health.json" || { echo "smoke: bad /healthz: $(cat "$tmp/health.json")" >&2; exit 1; }
+curl -sf "http://$ADDR/readyz" | grep -q '"status":"ok"' || { echo "smoke: /readyz not ok after wait" >&2; exit 1; }
 
 curl -sf -X POST "http://$ADDR/v1/snapshot" > /dev/null
 curl -sf "http://$ADDR/v1/tables/table4" > "$tmp/live-table4.json"
@@ -90,6 +109,27 @@ after=$(curl -sf "http://$ADDR/v1/stats" | sed 's/.*"ingested"://;s/,.*//')
 [ "$after" -gt "$before" ] || { echo "smoke: ingest did not grow the store ($before -> $after)" >&2; exit 1; }
 
 echo "smoke: censord serves batch-identical JSON and accepts live ingest ($before -> $after records)"
+
+# --- observability: /metrics covers ingest, HTTP and checkpoint ---
+
+curl -sf "http://$ADDR/metrics" > "$tmp/metrics-prekill.txt"
+for series in censord_ingest_blocks_total censord_ingest_records_total \
+              censord_ingest_bytes_total censord_store_records_total \
+              censord_snapshot_cuts_total censord_timewin_live_buckets \
+              censord_checkpoint_generation go_goroutines; do
+  [ -n "$(mval "$tmp/metrics-prekill.txt" "$series")" ] \
+    || { echo "smoke: /metrics missing $series" >&2; exit 1; }
+done
+grep -q '^http_requests_total{' "$tmp/metrics-prekill.txt" \
+  || { echo "smoke: /metrics missing http_requests_total" >&2; exit 1; }
+grep -q '^censord_shard_queue_depth{' "$tmp/metrics-prekill.txt" \
+  || { echo "smoke: /metrics missing censord_shard_queue_depth" >&2; exit 1; }
+pre_records=$(mval "$tmp/metrics-prekill.txt" censord_store_records_total)
+pre_gen=$(mval "$tmp/metrics-prekill.txt" censord_checkpoint_generation)
+awk -v n="$pre_records" -v want="$after" 'BEGIN { exit !(n == want) }' \
+  || { echo "smoke: censord_store_records_total $pre_records != /v1/stats ingested $after" >&2; exit 1; }
+
+echo "smoke: /metrics exposes ingest, HTTP and checkpoint series ($pre_records records)"
 
 # --- warm restart: kill mid-run, restart from the checkpoint alone ---
 
@@ -121,16 +161,7 @@ pid=""
 "$tmp/censord" -addr "$ADDR" -seed "$SEED" -requests "$REQUESTS" \
   -bucket 1h -snapshot-every 0 -checkpoint "$CKPT" &
 pid=$!
-for i in $(seq 1 50); do
-  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then
-    break
-  fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "smoke: restarted censord exited early" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+wait_ready "$pid" "restarted censord"
 curl -sf -X POST "http://$ADDR/v1/snapshot" > /dev/null
 for id in $TABLES; do
   curl -sf "http://$ADDR/v1/tables/$id" > "$tmp/postkill-table$id.json"
@@ -140,7 +171,22 @@ done
 restored=$(curl -sf "http://$ADDR/v1/stats" | sed 's/.*"ingested"://;s/,.*//')
 [ "$restored" -eq "$after" ] || { echo "smoke: restored $restored records, expected $after" >&2; exit 1; }
 
-echo "smoke: warm restart serves byte-identical tables from the checkpoint ($restored records)"
+# Metrics survive the warm restart monotonically: the record total picks
+# up where the checkpoint left it (CounterFunc over restored state, not
+# a process-lifetime counter) and the SIGTERM checkpoint advanced the
+# generation the restarted daemon now reports.
+curl -sf "http://$ADDR/metrics" > "$tmp/metrics-postkill.txt"
+post_records=$(mval "$tmp/metrics-postkill.txt" censord_store_records_total)
+post_gen=$(mval "$tmp/metrics-postkill.txt" censord_checkpoint_generation)
+restores=$(mval "$tmp/metrics-postkill.txt" censord_checkpoint_restores_total)
+awk -v a="$post_records" -v b="$pre_records" 'BEGIN { exit !(a >= b && a == b) }' \
+  || { echo "smoke: store_records_total regressed across restart ($pre_records -> $post_records)" >&2; exit 1; }
+awk -v a="$post_gen" -v b="$pre_gen" 'BEGIN { exit !(a > b) }' \
+  || { echo "smoke: checkpoint_generation not advanced across restart ($pre_gen -> $post_gen)" >&2; exit 1; }
+awk -v n="$restores" 'BEGIN { exit !(n == 1) }' \
+  || { echo "smoke: checkpoint_restores_total = $restores, want 1" >&2; exit 1; }
+
+echo "smoke: warm restart serves byte-identical tables from the checkpoint ($restored records, metrics monotone gen $pre_gen -> $post_gen)"
 
 # --- sketch mode: checkpoint -> SIGTERM -> warm restart, estimates survive ---
 #
@@ -160,16 +206,7 @@ SKCKPT="$tmp/ckpt-sketch"
 "$tmp/censord" -addr "$ADDR" -input "$inputs" -seed "$SEED" -requests "$REQUESTS" \
   -bucket 1h -snapshot-every 0 -checkpoint "$SKCKPT" -sketch &
 pid=$!
-for i in $(seq 1 50); do
-  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then
-    break
-  fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "smoke: sketch censord exited early" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+wait_ready "$pid" "sketch censord"
 curl -sf -X POST "http://$ADDR/v1/snapshot" > /dev/null
 mkdir -p "$tmp/sketch-prekill"
 for id in $TABLES; do
@@ -184,6 +221,11 @@ fi
 # Exact-module results are byte-identical to the exact daemon's.
 diff "$tmp/batch-fig7.json" <(curl -sf "http://$ADDR/v1/figures/7") \
   || { echo "smoke: sketch mode perturbed the exact fig7" >&2; exit 1; }
+# A sketched engine reports nonzero sketch footprint on /metrics.
+curl -sf "http://$ADDR/metrics" > "$tmp/metrics-sketch.txt"
+hlls=$(mval "$tmp/metrics-sketch.txt" 'censord_sketch_hlls{module="users"}')
+awk -v n="$hlls" 'BEGIN { exit !(n > 0) }' \
+  || { echo "smoke: sketch mode censord_sketch_hlls{module=\"users\"} = $hlls, want > 0" >&2; exit 1; }
 
 kill -TERM "$pid"
 for i in $(seq 1 100); do
@@ -196,16 +238,7 @@ pid=""
 "$tmp/censord" -addr "$ADDR" -seed "$SEED" -requests "$REQUESTS" \
   -bucket 1h -snapshot-every 0 -checkpoint "$SKCKPT" -sketch &
 pid=$!
-for i in $(seq 1 50); do
-  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then
-    break
-  fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    echo "smoke: restarted sketch censord exited early" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+wait_ready "$pid" "restarted sketch censord"
 curl -sf -X POST "http://$ADDR/v1/snapshot" > /dev/null
 for id in $TABLES; do
   curl -sf "http://$ADDR/v1/tables/$id" > "$tmp/sketch-postkill-table$id.json"
