@@ -30,7 +30,16 @@
 //
 // The HTTP listener comes up immediately; checkpoint restore and boot
 // ingest run behind it with /readyz reporting "restoring" then
-// "loading" (503) until the first snapshot is cut. Logs are structured
+// "loading" (503) until the first snapshot is cut, and "draining"
+// (503) again from SIGTERM until exit so load balancers stop routing
+// before the queues flush. The daemon is hardened for unattended
+// multi-week runs: explicit HTTP read/write/idle timeouts
+// (-http-*-timeout), a POST /v1/ingest body cap (-max-body, 413
+// beyond it), and bounded ingest backpressure — a shard queue stalled
+// past -shed-after fails the request with 429 + Retry-After instead
+// of hanging the handler (censord_ingest_shed_total counts these).
+// POST /v1/checkpoint cuts a checkpoint on demand when -checkpoint is
+// set. Logs are structured
 // (log/slog) — -log-level selects verbosity, -log-format text|json the
 // encoding — and every request is access-logged with an X-Request-ID.
 // -debug-addr serves net/http/pprof on a second, separately bindable
@@ -42,8 +51,10 @@
 // frozen all-time tail.
 //
 // With -checkpoint the daemon survives restarts warm: it restores the
-// last good checkpoint at boot (cold-booting with a logged warning if
-// the checkpoint is missing or damaged), checkpoints every
+// newest decodable checkpoint generation at boot — when the newest is
+// damaged it falls back one generation at a time (-keep-generations
+// are retained on disk for exactly this), cold-booting with a logged
+// warning only when nothing decodes — checkpoints every
 // -checkpoint-every while serving, and cuts a final checkpoint on
 // graceful shutdown after flushing every acknowledged ingest batch. On
 // a warm restart do not re-pass the -input files the checkpoint already
@@ -98,6 +109,12 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		debugAddr  = flag.String("debug-addr", "", "optional listen address serving /debug/pprof on its own listener (empty = disabled)")
+		maxBody    = flag.Int64("max-body", 1<<30, "maximum POST /v1/ingest body size in wire bytes, 413 beyond it (0 = unbounded)")
+		shedAfter  = flag.Duration("shed-after", serve.DefaultAddTimeout, "ingest load-shedding deadline: a shard queue full past this sheds the request with 429 instead of blocking the handler (negative = block forever)")
+		readTO     = flag.Duration("http-read-timeout", 5*time.Minute, "http.Server read timeout (covers the whole request body)")
+		writeTO    = flag.Duration("http-write-timeout", 5*time.Minute, "http.Server write timeout")
+		idleTO     = flag.Duration("http-idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
+		keepGens   = flag.Int("keep-generations", serve.DefaultKeepGenerations, "checkpoint generations kept on disk; restore falls back one generation at a time when the newest is damaged")
 	)
 	flag.Parse()
 
@@ -133,12 +150,15 @@ func main() {
 	}
 
 	store, err := serve.NewStore(serve.Config{
-		Options:       opt,
-		Metrics:       metrics,
-		Shards:        *shards,
-		SnapshotEvery: *snapEvery,
-		Bucket:        *bucket,
-		Retain:        *retain,
+		Options:         opt,
+		Metrics:         metrics,
+		Shards:          *shards,
+		SnapshotEvery:   *snapEvery,
+		Bucket:          *bucket,
+		Retain:          *retain,
+		AddTimeout:      *shedAfter,
+		KeepGenerations: *keepGens,
+		Logger:          logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -199,7 +219,7 @@ func main() {
 			loops.Add(1)
 			go func() {
 				defer loops.Done()
-				watchLoop(logger, store, *watch, *watchEvery, seen, stop)
+				store.WatchDir(*watch, *watchEvery, seen, stop)
 			}()
 			logger.Info("watching", "dir", *watch, "every", *watchEvery)
 		}
@@ -213,9 +233,27 @@ func main() {
 		}
 	}()
 
-	handler := serve.NewServer(store, gen,
-		serve.WithLogger(logger), serve.WithReadiness(ready))
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	opts := []serve.ServerOption{
+		serve.WithLogger(logger), serve.WithReadiness(ready), serve.WithMaxBody(*maxBody),
+	}
+	if *ckptDir != "" {
+		dir := *ckptDir
+		opts = append(opts, serve.WithCheckpoint(func() (serve.CheckpointInfo, error) {
+			return store.Checkpoint(dir)
+		}))
+	}
+	handler := serve.NewServer(store, gen, opts...)
+	// Every timeout is explicit: an unattended daemon must shed stuck
+	// peers (slow-loris headers, wedged uploads, dead keep-alives) on
+	// its own instead of accumulating goroutines for weeks.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr, "shards", store.Stats().Shards,
@@ -251,6 +289,10 @@ func main() {
 		}
 	case sig := <-sigc:
 		logger.Info("shutting down", "signal", sig.String())
+		// Flip /readyz to 503 "draining" before anything else: load
+		// balancers stop routing while in-flight requests and queued
+		// ingest batches still drain normally.
+		ready.Set("draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		srv.Shutdown(ctx)
 		if dsrv != nil {
@@ -308,62 +350,6 @@ func ingestFiles(logger *slog.Logger, store *serve.Store, paths []string) (uint6
 		logger.Warn("skipped malformed lines", "count", malformed)
 	}
 	return added, err
-}
-
-// watchLoop polls dir and ingests files it has not seen yet, refreshing
-// the snapshot after each round that ingested anything. A file is only
-// ingested once its size has held still for a full poll interval (a
-// producer may still be appending), and a failed ingest is retried on
-// later polls instead of being marked seen.
-func watchLoop(logger *slog.Logger, store *serve.Store, dir string, every time.Duration, seen map[string]bool, stop <-chan struct{}) {
-	tick := time.NewTicker(every)
-	defer tick.Stop()
-	sizes := map[string]int64{} // last observed size of not-yet-ingested files
-	for {
-		select {
-		case <-stop:
-			return
-		case <-tick.C:
-		}
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			logger.Warn("watch", "err", err)
-			continue
-		}
-		ingested := false
-		for _, e := range entries {
-			if e.IsDir() {
-				continue
-			}
-			path := filepath.Clean(filepath.Join(dir, e.Name()))
-			if seen[path] {
-				continue
-			}
-			info, err := e.Info()
-			if err != nil {
-				continue
-			}
-			if last, ok := sizes[path]; !ok || last != info.Size() {
-				sizes[path] = info.Size() // first sighting or still growing
-				continue
-			}
-			n, err := ingestFiles(logger, store, []string{path})
-			if err != nil {
-				logger.Warn("watch ingest failed, will retry", "path", path, "err", err)
-				delete(sizes, path) // restart the stability window
-				continue
-			}
-			seen[path] = true
-			delete(sizes, path)
-			logger.Info("watch ingested", "records", n, "path", path)
-			ingested = true
-		}
-		if ingested {
-			if _, err := store.Refresh(); err != nil {
-				logger.Warn("watch snapshot failed", "err", err)
-			}
-		}
-	}
 }
 
 func fatal(err error) {

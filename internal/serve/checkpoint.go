@@ -9,6 +9,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -92,6 +94,14 @@ func (st *Store) checkpoint(dir string) (CheckpointInfo, error) {
 	defer st.ckptMu.Unlock()
 	t0 := time.Now()
 
+	// Continue the directory's sequence, not just this process's: a
+	// store checkpointing into a dir it never restored from (or whose
+	// restore failed and cold-booted) must number its generation above
+	// everything already there — renaming onto a populated directory
+	// fails, and newest-first fallback order must mean newest data.
+	if _, maxSeq := scanGenerations(dir); maxSeq > st.ckptSeq.Load() {
+		st.ckptSeq.Store(maxSeq)
+	}
 	seq := st.ckptSeq.Add(1)
 	gen := fmt.Sprintf("gen-%08d", seq)
 	tmpDir := filepath.Join(dir, gen+".tmp")
@@ -164,7 +174,7 @@ func (st *Store) checkpoint(dir string) (CheckpointInfo, error) {
 	st.lastCkpt.Store(&info)
 	st.obsm.checkpoints.Inc()
 	st.obsm.checkpointWrite.Observe(time.Since(t0).Seconds())
-	pruneGenerations(dir, gen)
+	pruneGenerations(dir, st.keepGens)
 	return info, nil
 }
 
@@ -251,73 +261,206 @@ func syncDir(dir string) error {
 	return err
 }
 
-// pruneGenerations removes every gen-* entry except keep (best effort:
-// a leftover directory costs disk, not correctness).
-func pruneGenerations(dir, keep string) {
+// pruneGenerations removes all but the keep newest gen-* directories
+// plus any *.tmp debris from crashed checkpoint writes (best effort: a
+// leftover directory costs disk, not correctness). Keeping more than
+// one generation is what gives Restore somewhere to fall back to when
+// the newest is damaged.
+func pruneGenerations(dir string, keep int) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
+	gens, _ := scanGenerations(dir)
+	drop := map[string]bool{}
+	for i, g := range gens {
+		if i >= keep {
+			drop[g.name] = true
+		}
+	}
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "gen-") || name == keep {
+		if !strings.HasPrefix(name, "gen-") {
 			continue
 		}
-		os.RemoveAll(filepath.Join(dir, name))
+		if strings.HasSuffix(name, ".tmp") || drop[name] {
+			os.RemoveAll(filepath.Join(dir, name))
+		}
 	}
 }
 
-// Restore folds the checkpoint named by dir's manifest into the store.
-// It is two-phase: every shard file is read and fully decoded into a
-// staging partition first — any corruption, truncation or config
-// mismatch fails here, leaving the store exactly as it was — and only
-// then are the staged partitions absorbed into the live shards (on the
-// shard goroutines, like any other op).
+// genEntry is one generation directory found in a checkpoint dir.
+type genEntry struct {
+	name string
+	seq  uint64
+}
+
+// scanGenerations lists the complete (non-.tmp) generation directories
+// in dir, newest first, plus the highest sequence number seen.
+func scanGenerations(dir string) ([]genEntry, uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0
+	}
+	var gens []genEntry
+	var maxSeq uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, "gen-") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[len("gen-"):], 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, genEntry{name: name, seq: seq})
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].seq > gens[j].seq })
+	return gens, maxSeq
+}
+
+// Restore folds the newest restorable checkpoint generation in dir
+// into the store. It walks the generation directories newest to
+// oldest: each candidate is read and fully decoded into staging
+// partitions first — any corruption, truncation or config mismatch
+// fails that generation, leaving the store exactly as it was — and
+// only a generation that decodes completely is absorbed into the live
+// shards (on the shard goroutines, like any other op). A skipped
+// generation is logged and counted in
+// censord_checkpoint_restore_fallbacks_total, so a daemon that came
+// back up one generation behind is visible, not silent. The manifest
+// is advisory: it supplies metadata for the generation it names, but a
+// truncated or garbled MANIFEST.json does not cost any data — the walk
+// covers every complete generation on disk.
 //
-// The checkpoint's shard count does not need to match the store's:
-// files are distributed round-robin and absorbed, since queries always
-// merge across all shards. The bucket width must match (bucket grids
-// are not convertible); the stored module subset must cover the
-// store's (see core.Engine.UnmarshalState).
+// ErrNoCheckpoint means dir holds no checkpoint at all (no manifest,
+// no generation directories) — a normal cold boot. Generations that
+// exist but all fail to decode are a real error carrying the newest
+// generation's failure.
+//
+// A checkpoint's shard count does not need to match the store's: files
+// are distributed round-robin and absorbed, since queries always merge
+// across all shards. The bucket width must match (bucket grids are not
+// convertible; decode fails otherwise); the stored module subset must
+// cover the store's (see core.Engine.UnmarshalState).
 func (st *Store) Restore(dir string) (CheckpointInfo, error) {
 	st.restoring.Store(true)
 	defer st.restoring.Store(false)
 	t0 := time.Now()
-	m, err := readManifest(dir)
-	if err != nil {
-		return CheckpointInfo{}, err
+
+	m, merr := readManifest(dir)
+	gens, maxSeq := scanGenerations(dir)
+	// Future checkpoints must continue the on-disk sequence even when
+	// the restore below fails and the caller cold-boots: a new
+	// generation numbered below an existing directory would collide on
+	// rename and corrupt the newest-first fallback order.
+	if m != nil && m.Seq > maxSeq {
+		maxSeq = m.Seq
 	}
-	if m.BucketSeconds != st.bucketSecs {
-		return CheckpointInfo{}, fmt.Errorf("serve: checkpoint bucket width %ds does not match configured %ds", m.BucketSeconds, st.bucketSecs)
+	if maxSeq > st.ckptSeq.Load() {
+		st.ckptSeq.Store(maxSeq)
 	}
-	if m.Shards <= 0 {
-		return CheckpointInfo{}, fmt.Errorf("serve: manifest names %d shard files", m.Shards)
+	if len(gens) == 0 {
+		if merr != nil {
+			return CheckpointInfo{}, merr // missing manifest → ErrNoCheckpoint
+		}
+		return CheckpointInfo{}, fmt.Errorf("serve: manifest names %s but no generation directory exists", m.Generation)
+	}
+	if merr != nil {
+		st.logger.Warn("checkpoint manifest unusable, walking generations newest to oldest",
+			"dir", dir, "err", merr)
+	} else if m.Seq > gens[0].seq {
+		// The manifest promises a generation newer than anything on
+		// disk: whatever the walk recovers is older than the last
+		// durable state, which is a fallback even though no decode
+		// failed. (The opposite skew — a generation renamed into place
+		// before the crash wiped the manifest update — loses nothing.)
+		st.obsm.restoreFallbacks.Inc()
+		st.logger.Warn("manifest generation missing on disk, falling back to newest present",
+			"manifest", m.Generation, "newest", gens[0].name)
 	}
 
-	genDir := filepath.Join(dir, m.Generation)
-	staged := make([]*timewin.Partition, m.Shards)
-	counts := make([]uint64, m.Shards)
-	errs := make([]error, m.Shards)
+	var firstErr error
+	for _, g := range gens {
+		info, folded, err := st.restoreGeneration(dir, g, m)
+		if err != nil {
+			if folded {
+				// The fold phase started, so the store may hold a partial
+				// generation: absorbing an older one on top would corrupt
+				// it. (Unreachable in practice — decode validates
+				// everything the fold checks — but never walk past it.)
+				return CheckpointInfo{}, fmt.Errorf("serve: restore %s failed mid-fold: %w", g.name, err)
+			}
+			st.obsm.restoreFallbacks.Inc()
+			st.logger.Warn("checkpoint generation unusable, falling back to previous",
+				"generation", g.name, "err", err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("generation %s: %w", g.name, err)
+			}
+			continue
+		}
+		st.lastCkpt.Store(&info)
+		st.obsm.restores.Inc()
+		st.obsm.restoreSeconds.Observe(time.Since(t0).Seconds())
+		return info, nil
+	}
+	return CheckpointInfo{}, fmt.Errorf("serve: no checkpoint generation in %s decodes: %w", dir, firstErr)
+}
+
+// restoreGeneration decodes one generation directory completely and,
+// only on full success, folds it into the live shards. The shard count
+// is taken from the directory itself (every complete generation is
+// self-describing), so fallback generations restore even when the
+// manifest that described them is gone. folded reports whether the
+// fold phase began — an error with folded=true means the store may
+// hold partial state and the caller must not try another generation.
+func (st *Store) restoreGeneration(dir string, g genEntry, m *manifest) (info CheckpointInfo, folded bool, err error) {
+	genDir := filepath.Join(dir, g.name)
+	entries, err := os.ReadDir(genDir)
+	if err != nil {
+		return CheckpointInfo{}, false, err
+	}
+	shards := 0
+	var bytes int64
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "shard-") && strings.HasSuffix(e.Name(), ".ckpt.gz") {
+			shards++
+			if fi, err := e.Info(); err == nil {
+				bytes += fi.Size()
+			}
+		}
+	}
+	if shards == 0 {
+		return CheckpointInfo{}, false, fmt.Errorf("no shard files in %s", g.name)
+	}
+
+	staged := make([]*timewin.Partition, shards)
+	counts := make([]uint64, shards)
+	errs := make([]error, shards)
 	var wg sync.WaitGroup
-	for i := 0; i < m.Shards; i++ {
+	for i := 0; i < shards; i++ {
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			staged[i], counts[i], errs[i] = st.readShardFile(filepath.Join(genDir, shardFileName(i)), i, m.Shards)
+			staged[i], counts[i], errs[i] = st.readShardFile(filepath.Join(genDir, shardFileName(i)), i, shards)
 		}()
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return CheckpointInfo{}, fmt.Errorf("serve: restore shard file %d: %w", i, err)
+			return CheckpointInfo{}, false, fmt.Errorf("shard file %d: %w", i, err)
 		}
 	}
 
 	// Fold phase: nothing below can fail (Absorb only errors on grid
-	// mismatch, checked above), so a successful decode is a successful
-	// restore.
+	// mismatch, which decode already validated), so a successful decode
+	// is a successful restore.
 	var rerr error
+	var records uint64
 	for j := range staged {
 		j := j
 		sh := j % len(st.shards)
@@ -329,21 +472,26 @@ func (st *Store) Restore(dir string) (CheckpointInfo, error) {
 			*observed += counts[j]
 		})
 		if err != nil {
-			return CheckpointInfo{}, err
+			return CheckpointInfo{}, j > 0, err
 		}
 		if rerr != nil {
-			return CheckpointInfo{}, rerr
+			return CheckpointInfo{}, true, rerr
 		}
 		st.ingested.Add(counts[j])
+		records += counts[j]
 	}
-	// Future checkpoints continue the restored generation sequence, and
-	// checkpoint_age_s reports the restored checkpoint until a new one
-	// is cut.
-	st.ckptSeq.Store(m.Seq)
-	st.lastCkpt.Store(&m.CheckpointInfo)
-	st.obsm.restores.Inc()
-	st.obsm.restoreSeconds.Observe(time.Since(t0).Seconds())
-	return m.CheckpointInfo, nil
+
+	if m != nil && m.Generation == g.name {
+		return m.CheckpointInfo, true, nil
+	}
+	// A fallback generation has no manifest metadata; reconstruct it
+	// from the directory (creation time ≈ the directory's mtime, set by
+	// the original rename).
+	info = CheckpointInfo{Generation: g.name, Shards: shards, Records: records, Bytes: bytes}
+	if fi, err := os.Stat(genDir); err == nil {
+		info.CreatedUnix = fi.ModTime().Unix()
+	}
+	return info, true, nil
 }
 
 // shardOp runs op on one shard's goroutine.

@@ -25,7 +25,11 @@ func newCkptStore(t *testing.T, f *fixture, shards int) *Store {
 
 func fillStore(t *testing.T, store *Store, f *fixture) {
 	t.Helper()
-	if got := store.Add(f.records); got != uint64(len(f.records)) {
+	got, err := store.Add(f.records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != uint64(len(f.records)) {
 		t.Fatalf("Add accepted %d of %d records", got, len(f.records))
 	}
 	if _, err := store.Refresh(); err != nil {
@@ -268,8 +272,8 @@ func TestRestoreCorruptCheckpoint(t *testing.T) {
 			t.Errorf("%s: Restore succeeded on a damaged checkpoint", name)
 		}
 		// Cold boot fallback: the store still works.
-		if got := store.Add(f.records[:100]); got != 100 {
-			t.Errorf("%s: store unusable after failed restore", name)
+		if got, err := store.Add(f.records[:100]); err != nil || got != 100 {
+			t.Errorf("%s: store unusable after failed restore (added %d, err %v)", name, got, err)
 		}
 		if _, err := store.Refresh(); err != nil {
 			t.Errorf("%s: %v", name, err)
@@ -314,8 +318,21 @@ func TestCheckpointGenerations(t *testing.T) {
 	if first.Generation == second.Generation {
 		t.Fatalf("generations did not advance: %s", first.Generation)
 	}
+	// The previous generation is retained as a restore fallback...
+	if _, err := os.Stat(filepath.Join(dir, first.Generation)); err != nil {
+		t.Errorf("previous generation %s not retained for fallback: %v", first.Generation, err)
+	}
+	// ...but only the newest keepGens survive the next checkpoint.
+	store.Add(f.records[2000:3000])
+	third, err := store.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(filepath.Join(dir, first.Generation)); !os.IsNotExist(err) {
-		t.Errorf("old generation %s not pruned", first.Generation)
+		t.Errorf("generation %s not pruned after falling out of the keep window", first.Generation)
+	}
+	if _, err := os.Stat(filepath.Join(dir, second.Generation)); err != nil {
+		t.Errorf("generation %s pruned too eagerly: %v", second.Generation, err)
 	}
 
 	// Simulate a crash mid-checkpoint: a stray .tmp generation.
@@ -332,11 +349,11 @@ func TestCheckpointGenerations(t *testing.T) {
 	if err != nil {
 		t.Fatalf("restore with stray tmp generation: %v", err)
 	}
-	if info.Generation != second.Generation {
-		t.Errorf("restored %s, want %s", info.Generation, second.Generation)
+	if info.Generation != third.Generation {
+		t.Errorf("restored %s, want %s", info.Generation, third.Generation)
 	}
-	if info.Records != 2000 {
-		t.Errorf("restored %d records, want 2000", info.Records)
+	if info.Records != 3000 {
+		t.Errorf("restored %d records, want 3000", info.Records)
 	}
 }
 

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"syriafilter/internal/logfmt"
+	"syriafilter/internal/timewin"
+)
+
+// A single stalled shard must not hang every ingest path: Add sheds
+// with ErrOverloaded once the deadline passes, the shed is counted,
+// and unrelated shards and handlers keep working.
+func TestAddShedsOnStalledShard(t *testing.T) {
+	f := corpus(t)
+	store, err := NewStore(Config{Options: f.opt, Shards: 2, AddTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := httptest.NewServer(NewServer(store, f.gen))
+	defer srv.Close()
+
+	// Split the fixture by destination shard so batches can target the
+	// stalled shard and the healthy one independently.
+	var toStalled, toHealthy []logfmt.Record
+	for i := range f.records {
+		if shardKey(&f.records[i])%2 == 0 {
+			toStalled = append(toStalled, f.records[i])
+		} else {
+			toHealthy = append(toHealthy, f.records[i])
+		}
+	}
+	if len(toStalled) < 10 || len(toHealthy) < 10 {
+		t.Fatalf("fixture too skewed: %d/%d records per shard", len(toStalled), len(toHealthy))
+	}
+
+	// Stall shard 0: park its goroutine on a blocking op, then fill its
+	// queue so every further send must block.
+	release := make(chan struct{})
+	stallDone := make(chan struct{})
+	store.shards[0].msgs <- shardMsg{done: stallDone,
+		op: func(p *timewin.Partition, observed *uint64) { <-release }}
+	for i := 0; i < shardQueue; i++ {
+		store.shards[0].msgs <- shardMsg{}
+	}
+	defer close(release)
+
+	start := time.Now()
+	added, err := store.Add(toStalled[:10])
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("Add blocked %v on a stalled shard, want ~the 100ms deadline", waited)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Add on stalled shard: added=%d err=%v, want ErrOverloaded", added, err)
+	}
+	if got := store.obsm.shed.Value(); got != 1 {
+		t.Errorf("censord_ingest_shed_total = %d, want 1", got)
+	}
+
+	// The healthy shard is untouched by the stall.
+	if n, err := store.Add(toHealthy[:10]); err != nil || n != 10 {
+		t.Errorf("Add to healthy shard: added=%d err=%v, want 10, nil", n, err)
+	}
+
+	// And so are unrelated handlers: liveness answers while shard 0 is
+	// wedged, and ingest over HTTP sheds with 429 + Retry-After instead
+	// of hanging the connection.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("GET /healthz during shard stall: %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/ingest", "text/csv",
+		bytes.NewReader(encodeCSV(t, toStalled[10:20], false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("ingest to stalled store: status %d body %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if !strings.Contains(string(body), `"added"`) {
+		t.Errorf("429 body %s does not report the accepted-record count", body)
+	}
+	if got := store.obsm.shed.Value(); got != 2 {
+		t.Errorf("censord_ingest_shed_total after HTTP shed = %d, want 2", got)
+	}
+}
+
+// WithMaxBody caps ingest bodies: one byte over answers 413 and names
+// the cap, under the cap still works.
+func TestIngestBodyCap(t *testing.T) {
+	f := corpus(t)
+	store, err := NewStore(Config{Options: f.opt, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := httptest.NewServer(NewServer(store, f.gen, WithMaxBody(512)))
+	defer srv.Close()
+
+	big := encodeCSV(t, f.records[:100], false) // far over 512 bytes
+	resp, err := http.Post(srv.URL+"/v1/ingest", "text/csv", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: status %d body %s, want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "512") {
+		t.Errorf("413 body %s does not name the cap", body)
+	}
+
+	small := encodeCSV(t, f.records[:1], false)
+	if len(small) > 512 {
+		t.Fatalf("fixture record encodes to %d bytes, cannot test under-cap path", len(small))
+	}
+	resp, err = http.Post(srv.URL+"/v1/ingest", "text/csv", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("under-cap ingest: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// While the daemon reports any non-ok readiness state (draining at
+// SIGTERM, restoring/loading during boot), the state-observing routes
+// answer 503 + Retry-After instead of serving half-built views;
+// liveness stays 200.
+func TestGateServingWhileNotReady(t *testing.T) {
+	f := corpus(t)
+	store, err := NewStore(Config{Options: f.opt, Shards: 2, Bucket: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	fillStore(t, store, f)
+
+	ready := NewReadiness("draining")
+	srv := httptest.NewServer(NewServer(store, f.gen,
+		WithReadiness(ready),
+		WithCheckpoint(func() (CheckpointInfo, error) { return CheckpointInfo{}, nil })))
+	defer srv.Close()
+
+	gated := []struct{ method, path string }{
+		{"POST", "/v1/snapshot"},
+		{"POST", "/v1/checkpoint"},
+		{"GET", "/v1/range/table4?from=2011-07-01&to=2011-09-01"},
+	}
+	for _, g := range gated {
+		req, err := http.NewRequest(g.method, srv.URL+g.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s %s while draining: status %d body %s, want 503", g.method, g.path, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s %s while draining: missing Retry-After", g.method, g.path)
+		}
+		if !strings.Contains(string(body), "draining") {
+			t.Errorf("%s %s while draining: body %s does not name the state", g.method, g.path, body)
+		}
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s while draining: status %d, want 200 (liveness is not readiness)", path, resp.StatusCode)
+		}
+	}
+
+	// Back to ok: the gate opens.
+	ready.Set("ok")
+	resp, err := http.Post(srv.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("POST /v1/snapshot after recovery: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// Restore must degrade one generation at a time: a damaged newest
+// generation falls back to the previous one (counted and logged), a
+// damaged manifest alone costs nothing, and only a directory where no
+// generation decodes fails — still leaving the store cold-boot usable.
+func TestRestoreGenerationFallback(t *testing.T) {
+	f := corpus(t)
+
+	// Template checkpoint dir: gen A holds 1000 records, gen B holds
+	// 2000 (cumulative) — both retained by the keep window.
+	template := t.TempDir()
+	store := newCkptStore(t, f, 2)
+	if _, err := store.Add(f.records[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	genA, err := store.Checkpoint(template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Add(f.records[1000:2000]); err != nil {
+		t.Fatal(err)
+	}
+	genB, err := store.Checkpoint(template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	cases := []struct {
+		name          string
+		mutate        func(t *testing.T, dir string)
+		wantRecords   uint64 // 0 = restore must fail
+		wantFallbacks uint64
+	}{
+		{
+			name: "truncated manifest still restores newest",
+			mutate: func(t *testing.T, dir string) {
+				truncateFile(t, filepath.Join(dir, manifestName), 10)
+			},
+			wantRecords: 2000, wantFallbacks: 0,
+		},
+		{
+			name: "garbled manifest still restores newest",
+			mutate: func(t *testing.T, dir string) {
+				if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: 2000, wantFallbacks: 0,
+		},
+		{
+			name: "truncated newest shard falls back one generation",
+			mutate: func(t *testing.T, dir string) {
+				truncateFile(t, filepath.Join(dir, genB.Generation, shardFileName(0)), 20)
+			},
+			wantRecords: 1000, wantFallbacks: 1,
+		},
+		{
+			name: "garbled gzip in newest falls back one generation",
+			mutate: func(t *testing.T, dir string) {
+				garbleFile(t, filepath.Join(dir, genB.Generation, shardFileName(1)))
+			},
+			wantRecords: 1000, wantFallbacks: 1,
+		},
+		{
+			name: "missing newest generation falls back one generation",
+			mutate: func(t *testing.T, dir string) {
+				if err := os.RemoveAll(filepath.Join(dir, genB.Generation)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: 1000, wantFallbacks: 1,
+		},
+		{
+			name: "every generation damaged fails, store cold-boots",
+			mutate: func(t *testing.T, dir string) {
+				truncateFile(t, filepath.Join(dir, genA.Generation, shardFileName(0)), 5)
+				truncateFile(t, filepath.Join(dir, genB.Generation, shardFileName(0)), 5)
+			},
+			wantRecords: 0, wantFallbacks: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			copyTree(t, template, dir)
+			tc.mutate(t, dir)
+
+			st := newCkptStore(t, f, 2)
+			defer st.Close()
+			info, err := st.Restore(dir)
+			if tc.wantRecords == 0 {
+				if err == nil {
+					t.Fatalf("Restore succeeded (%+v) on a fully damaged dir", info)
+				}
+				if errors.Is(err, ErrNoCheckpoint) {
+					t.Errorf("fully damaged dir reported ErrNoCheckpoint; want a decode error (data existed)")
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				if info.Records != tc.wantRecords {
+					t.Errorf("restored %d records, want %d", info.Records, tc.wantRecords)
+				}
+			}
+			if got := st.obsm.restoreFallbacks.Value(); got != tc.wantFallbacks {
+				t.Errorf("censord_checkpoint_restore_fallbacks_total = %d, want %d", got, tc.wantFallbacks)
+			}
+
+			// The store works after any outcome, and a fresh checkpoint
+			// continues the on-disk sequence instead of colliding with
+			// the surviving generation dirs.
+			if _, err := st.Add(f.records[2000:2100]); err != nil {
+				t.Fatal(err)
+			}
+			next, err := st.Checkpoint(dir)
+			if err != nil {
+				t.Fatalf("checkpoint after restore: %v", err)
+			}
+			if next.Generation == genA.Generation || next.Generation == genB.Generation {
+				t.Errorf("new checkpoint reused generation %s", next.Generation)
+			}
+			if next.Records != tc.wantRecords+100 {
+				t.Errorf("checkpoint after restore covers %d records, want %d", next.Records, tc.wantRecords+100)
+			}
+		})
+	}
+}
+
+func truncateFile(t *testing.T, path string, n int64) {
+	t.Helper()
+	if err := os.Truncate(path, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// garbleFile flips bytes in the middle of path, keeping the length (a
+// bit-rot corruption the gzip checksum catches, unlike a truncation the
+// decoder catches first).
+func garbleFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(b) / 2; i < len(b)/2+16 && i < len(b); i++ {
+		b[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

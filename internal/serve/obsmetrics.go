@@ -23,6 +23,7 @@ type storeMetrics struct {
 	bytes        *obs.Counter
 	parseSeconds *obs.Histogram
 	backpressure *obs.Histogram
+	shed         *obs.Counter
 
 	snapshots       *obs.Counter
 	snapshotSeconds *obs.Histogram
@@ -31,10 +32,11 @@ type storeMetrics struct {
 	compactedBuckets *obs.Counter
 	compactSeconds   *obs.Histogram
 
-	checkpoints     *obs.Counter
-	checkpointWrite *obs.Histogram
-	restores        *obs.Counter
-	restoreSeconds  *obs.Histogram
+	checkpoints      *obs.Counter
+	checkpointWrite  *obs.Histogram
+	restores         *obs.Counter
+	restoreSeconds   *obs.Histogram
+	restoreFallbacks *obs.Counter
 }
 
 func newStoreMetrics(r *obs.Registry) storeMetrics {
@@ -51,6 +53,9 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 			"Per-block parse latency.", nil),
 		backpressure: r.Histogram("censord_ingest_backpressure_seconds",
 			"Time Add spent blocked on a full shard queue (0 = enqueued immediately).", nil),
+		shed: r.Counter("censord_ingest_shed_total",
+			"Ingest calls shed with ErrOverloaded (HTTP 429) after blocking "+
+				"the full backpressure deadline on a stalled shard."),
 
 		snapshots: r.Counter("censord_snapshot_cuts_total",
 			"Snapshot rebuilds (Refresh calls that completed)."),
@@ -72,6 +77,9 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 			"Checkpoints restored."),
 		restoreSeconds: r.Histogram("censord_checkpoint_restore_seconds",
 			"Checkpoint restore duration (decode and fold).", nil),
+		restoreFallbacks: r.Counter("censord_checkpoint_restore_fallbacks_total",
+			"Checkpoint generations skipped during restore because they "+
+				"failed to decode (corruption, truncation, config mismatch)."),
 	}
 }
 

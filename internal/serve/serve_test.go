@@ -326,8 +326,8 @@ func TestStoreClose(t *testing.T) {
 	}
 	store.Close()
 	store.Close() // idempotent
-	if n := store.Add(f.records[:100]); n != 0 {
-		t.Errorf("Add after Close accepted %d records", n)
+	if n, err := store.Add(f.records[:100]); err == nil || n != 0 {
+		t.Errorf("Add after Close accepted %d records (err %v)", n, err)
 	}
 	if snap := store.Current(); snap.Records != 1000 {
 		t.Errorf("snapshot after Close has %d records, want 1000", snap.Records)

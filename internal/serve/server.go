@@ -33,6 +33,7 @@ import (
 //	GET  /v1/range/{id}               any experiment over ?from&to (&step)
 //	POST /v1/ingest                   CSV log lines (gzip ok) into the store
 //	POST /v1/snapshot                 force a snapshot rebuild
+//	POST /v1/checkpoint               cut a checkpoint now (WithCheckpoint)
 //
 // Query endpoints serve JSON by default and aligned text with
 // ?format=text; ?fresh=1 rebuilds the snapshot before answering. JSON
@@ -45,12 +46,14 @@ import (
 // gauge, a latency histogram, and (with WithLogger) a structured access
 // log line per request carrying an X-Request-ID.
 type Server struct {
-	store  *Store
-	gen    *synth.Generator
-	mux    *http.ServeMux
-	start  time.Time
-	logger *slog.Logger
-	ready  *Readiness
+	store   *Store
+	gen     *synth.Generator
+	mux     *http.ServeMux
+	start   time.Time
+	logger  *slog.Logger
+	ready   *Readiness
+	maxBody int64
+	ckptFn  func() (CheckpointInfo, error)
 }
 
 // ServerOption customizes NewServer.
@@ -61,9 +64,23 @@ type ServerOption func(*Server)
 func WithLogger(l *slog.Logger) ServerOption { return func(s *Server) { s.logger = l } }
 
 // WithReadiness wires an external readiness signal into GET /readyz,
-// letting the daemon report "restoring"/"loading" during boot. Without
-// it /readyz follows only the store's own restore state.
+// letting the daemon report "restoring"/"loading" during boot (and
+// "draining" during shutdown). Without it /readyz follows only the
+// store's own restore state.
 func WithReadiness(r *Readiness) ServerOption { return func(s *Server) { s.ready = r } }
+
+// WithMaxBody caps POST /v1/ingest request bodies at n wire bytes
+// (pre-gunzip); larger uploads fail with 413. <= 0 leaves bodies
+// unbounded (the default, for embedders that trust their callers).
+func WithMaxBody(n int64) ServerOption { return func(s *Server) { s.maxBody = n } }
+
+// WithCheckpoint enables POST /v1/checkpoint: fn cuts a checkpoint now
+// and returns what was written. The daemon wires this to
+// Store.Checkpoint with its -checkpoint dir; without the option the
+// endpoint answers 501.
+func WithCheckpoint(fn func() (CheckpointInfo, error)) ServerOption {
+	return func(s *Server) { s.ckptFn = fn }
+}
 
 // NewServer wires the routes. gen is the optional ground-truth world;
 // without it the generator-requiring experiments (probing, groundtruth)
@@ -91,6 +108,7 @@ func NewServer(store *Store, gen *synth.Generator, opts ...ServerOption) *Server
 	handle("GET /v1/range/{id}", "/v1/range/{id}", s.handleRange)
 	handle("POST /v1/ingest", "/v1/ingest", s.handleIngest)
 	handle("POST /v1/snapshot", "/v1/snapshot", s.handleSnapshot)
+	handle("POST /v1/checkpoint", "/v1/checkpoint", s.handleCheckpoint)
 	if reg != nil {
 		// The scrape itself is instrumented too — http_requests_total
 		// {route="/metrics"} shows scraper health.
@@ -197,6 +215,26 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	s.serveDoc(w, r, id, "figure")
 }
 
+// gateServing rejects requests that would observe (or snapshot)
+// half-restored state: while the daemon is restoring a checkpoint or
+// replaying boot files, /v1/snapshot, /v1/range and /v1/checkpoint
+// would race the async boot — a snapshot cut mid-restore publishes a
+// partial view, and range queries merge partially-folded partitions.
+// Answer 503 + Retry-After so clients (and LBs) come back once
+// /readyz flips. Returns true when the request was rejected.
+func (s *Server) gateServing(w http.ResponseWriter) bool {
+	state := s.ready.State() // nil-safe: no signal wired reads "ok"
+	if state == "ok" && s.store.Restoring() {
+		state = "restoring"
+	}
+	if state == "ok" {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "service %s; retry shortly", state)
+	return true
+}
+
 // handleRange is the windowed query endpoint. Without step it merges
 // every bucket the window covers into one transient engine and renders
 // the experiment Doc over it — for a window covering the whole corpus
@@ -205,6 +243,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 // sub-window and returns a Series. Ranges that begin inside the
 // compacted retention tail answer 422 with the horizon.
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	if s.gateServing(w) {
+		return
+	}
 	id := r.PathValue("id")
 	if render.Title(id) == "" {
 		writeError(w, http.StatusNotFound, "render: unknown experiment id %q (known: %v)", id, render.Order())
@@ -336,8 +377,20 @@ func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind s
 // goroutine. Malformed lines are counted and skipped, like the file
 // reader. ?refresh=1 rebuilds the snapshot after the batch so it is
 // immediately queryable.
+//
+// Failure semantics: with WithMaxBody, an oversized body answers 413
+// (the cap applies to wire bytes, before gunzip). A store shedding
+// load answers 429 with Retry-After — the response's "added" count
+// says how many records were accepted before the shed, so ingest under
+// overload is at-least-once: the daemon never buffers unboundedly or
+// hangs the handler on a stalled shard, and the producer decides what
+// to re-send. A closed (draining) store answers 503.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	br := bufio.NewReader(r.Body)
+	rbody := r.Body
+	if s.maxBody > 0 {
+		rbody = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	br := bufio.NewReader(rbody)
 	body := io.Reader(br)
 	magic, _ := br.Peek(2)
 	if r.Header.Get("Content-Encoding") == "gzip" ||
@@ -352,7 +405,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	added, malformed, err := s.store.IngestBlocks(logfmt.NewBlockReader(body), 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "ingest after %d records: %v", added, err)
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds the %d byte ingest cap (%d records accepted); split the upload", tooBig.Limit, added)
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": err.Error(), "added": added, "malformed": malformed,
+			})
+		case errors.Is(err, ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "ingest after %d records: %v", added, err)
+		}
 		return
 	}
 	resp := map[string]any{"added": added, "malformed": malformed}
@@ -369,6 +437,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.gateServing(w) {
+		return
+	}
 	snap, err := s.store.Refresh()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
@@ -379,4 +450,29 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		"snapshot_records": snap.Records,
 		"built":            snap.Built.UTC().Format(time.RFC3339),
 	})
+}
+
+// handleCheckpoint cuts a checkpoint on demand (501 when the embedder
+// did not wire one — the daemon needs a -checkpoint dir). Gated like
+// /v1/snapshot: a checkpoint cut mid-restore would persist a partial
+// fold as if it were a complete generation.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.ckptFn == nil {
+		writeError(w, http.StatusNotImplemented, "checkpointing not configured (start with -checkpoint)")
+		return
+	}
+	if s.gateServing(w) {
+		return
+	}
+	info, err := s.ckptFn()
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }

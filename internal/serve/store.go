@@ -19,6 +19,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
@@ -55,6 +57,22 @@ type Config struct {
 	// bucket by more than this are compacted into the frozen all-time
 	// tail, bounding live memory. 0 keeps every bucket live.
 	Retain time.Duration
+	// AddTimeout bounds how long Add may block on a full shard queue
+	// before shedding the rest of the call with ErrOverloaded (the HTTP
+	// ingest path maps it to 429 + Retry-After). One stalled shard then
+	// costs at most one deadline per ingest call instead of hanging
+	// every handler forever. 0 picks DefaultAddTimeout; negative blocks
+	// forever (the pre-shedding behavior).
+	AddTimeout time.Duration
+	// KeepGenerations is how many checkpoint generations Checkpoint
+	// leaves on disk (the current one included). Restore falls back one
+	// generation at a time when the newest is corrupt, so anything
+	// below 2 turns a damaged generation into a cold boot. 0 picks
+	// DefaultKeepGenerations.
+	KeepGenerations int
+	// Logger receives restore-fallback and other rare operational
+	// warnings. nil logs nothing.
+	Logger *slog.Logger
 	// Registry receives the store's metrics. nil builds a fresh registry
 	// (reachable via Store.Registry). One store per registry: a second
 	// store would overwrite the first's sampled series.
@@ -150,11 +168,31 @@ func (s *shard) loop(p *timewin.Partition, wg *sync.WaitGroup) {
 // unboundedly.
 const shardQueue = 8
 
+// DefaultAddTimeout is how long Add blocks on a full shard queue before
+// shedding (Config.AddTimeout = 0). Generous: healthy shards drain a
+// batch in microseconds, so reaching it means a shard is genuinely
+// stalled, not briefly busy.
+const DefaultAddTimeout = 10 * time.Second
+
+// DefaultKeepGenerations is how many checkpoint generations survive
+// pruning (Config.KeepGenerations = 0): the current one plus one
+// fallback for Restore to walk to when the newest is damaged.
+const DefaultKeepGenerations = 2
+
+// ErrOverloaded reports an Add that shed load: a shard queue stayed
+// full past the configured deadline. Some batches of the call may have
+// been enqueued (the returned count says how many records); the rest
+// were dropped. Callers should back off and retry.
+var ErrOverloaded = errors.New("serve: store overloaded (shard queue full past deadline)")
+
 // Store is the sharded live store. See the package comment for the
 // concurrency design.
 type Store struct {
 	cfg        Config
 	bucketSecs int64
+	addTimeout time.Duration // 0 = never shed
+	keepGens   int
+	logger     *slog.Logger
 	shards     []*shard
 	start      time.Time
 
@@ -195,7 +233,23 @@ func NewStore(cfg Config) (*Store, error) {
 	if cfg.Bucket <= 0 {
 		cfg.Bucket = time.Hour
 	}
-	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), start: time.Now(), stop: make(chan struct{}), rate: &obs.RateWindow{}}
+	addTimeout := cfg.AddTimeout
+	switch {
+	case addTimeout == 0:
+		addTimeout = DefaultAddTimeout
+	case addTimeout < 0:
+		addTimeout = 0 // block forever
+	}
+	keepGens := cfg.KeepGenerations
+	if keepGens <= 0 {
+		keepGens = DefaultKeepGenerations
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), addTimeout: addTimeout,
+		keepGens: keepGens, logger: logger, start: time.Now(), stop: make(chan struct{}), rate: &obs.RateWindow{}}
 	var twObs *timewin.PartitionObs
 	if !cfg.DisableObs {
 		st.reg = cfg.Registry
@@ -268,17 +322,21 @@ func shardKey(rec *logfmt.Record) uint64 {
 }
 
 // Add routes records to their shards and blocks until every batch is
-// enqueued — backpressure, not dropping, under overload. Records are
-// copied, so the caller may reuse recs. Returns the number accepted (0
-// after Close).
-func (st *Store) Add(recs []logfmt.Record) uint64 {
+// enqueued — backpressure under overload, bounded by the configured
+// AddTimeout: if a shard queue stays full past the deadline the call
+// sheds the remaining batches and returns ErrOverloaded, so one
+// stalled shard cannot hang every ingest path forever. The deadline
+// covers the whole call, not each shard. Records are copied, so the
+// caller may reuse recs. Returns the records actually enqueued (all of
+// them when err is nil, 0 with ErrClosed after Close).
+func (st *Store) Add(recs []logfmt.Record) (uint64, error) {
 	if len(recs) == 0 {
-		return 0
+		return 0, nil
 	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if st.closed {
-		return 0
+		return 0, ErrClosed
 	}
 	n := uint64(len(st.shards))
 	buckets := make([][]logfmt.Record, n)
@@ -286,24 +344,42 @@ func (st *Store) Add(recs []logfmt.Record) uint64 {
 		b := shardKey(&recs[i]) % n
 		buckets[b] = append(buckets[b], recs[i])
 	}
+	// Backpressure visibility: the fast path (queue has room) records a
+	// zero wait, the contended path times the blocking send. One lazily
+	// armed timer bounds the sum of every blocking send in this call.
+	var deadline <-chan time.Time
+	var added uint64
 	for i, b := range buckets {
 		if len(b) == 0 {
 			continue
 		}
-		// Backpressure visibility: the fast path (queue has room) records
-		// a zero wait, the contended path times the blocking send. The
-		// semantics — block, never drop — are unchanged.
 		select {
 		case st.shards[i].msgs <- shardMsg{batch: b}:
 			st.obsm.backpressure.Observe(0)
+			added += uint64(len(b))
+			continue
 		default:
-			t0 := time.Now()
-			st.shards[i].msgs <- shardMsg{batch: b}
+		}
+		if st.addTimeout > 0 && deadline == nil {
+			timer := time.NewTimer(st.addTimeout)
+			defer timer.Stop()
+			deadline = timer.C
+		}
+		t0 := time.Now()
+		select {
+		case st.shards[i].msgs <- shardMsg{batch: b}:
 			st.obsm.backpressure.Observe(time.Since(t0).Seconds())
+			added += uint64(len(b))
+		case <-deadline: // nil (never ready) when shedding is disabled
+			st.obsm.backpressure.Observe(time.Since(t0).Seconds())
+			st.obsm.shed.Inc()
+			st.ingested.Add(added)
+			return added, fmt.Errorf("%w: shard %d after %v (%d of %d records enqueued)",
+				ErrOverloaded, i, st.addTimeout, added, len(recs))
 		}
 	}
-	st.ingested.Add(uint64(len(recs)))
-	return uint64(len(recs))
+	st.ingested.Add(added)
+	return added, nil
 }
 
 // IngestScanner drains sc into the store in pipeline.BatchSize chunks,
@@ -320,11 +396,19 @@ func (st *Store) IngestScanner(sc pipeline.Scanner) (uint64, error) {
 		}
 		batch = append(batch, *rec)
 		if len(batch) == pipeline.BatchSize {
-			added += st.Add(batch)
+			n, err := st.Add(batch)
+			added += n
+			if err != nil {
+				return added, err
+			}
 			batch = batch[:0]
 		}
 	}
-	added += st.Add(batch)
+	n, err := st.Add(batch)
+	added += n
+	if err != nil {
+		return added, err
+	}
 	return added, sc.Err()
 }
 
@@ -336,9 +420,13 @@ type ingestAcc struct {
 	st    *Store
 	batch []logfmt.Record
 	added uint64
+	err   error // sticky: first Add failure; later records are dropped
 }
 
 func (a *ingestAcc) observe(rec *logfmt.Record) {
+	if a.err != nil {
+		return // shedding: stop buffering, the call is already failed
+	}
 	a.batch = append(a.batch, *rec)
 	if len(a.batch) == pipeline.BatchSize {
 		a.flush()
@@ -346,8 +434,10 @@ func (a *ingestAcc) observe(rec *logfmt.Record) {
 }
 
 func (a *ingestAcc) flush() {
-	if len(a.batch) > 0 {
-		a.added += a.st.Add(a.batch)
+	if len(a.batch) > 0 && a.err == nil {
+		n, err := a.st.Add(a.batch)
+		a.added += n
+		a.err = err
 		a.batch = a.batch[:0]
 	}
 }
@@ -378,7 +468,13 @@ func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (
 			return &ingestAcc{st: st, batch: make([]logfmt.Record, 0, pipeline.BatchSize)}
 		},
 		func(a *ingestAcc, rec *logfmt.Record) { a.observe(rec) },
-		func(dst, src *ingestAcc) { src.flush(); dst.added += src.added },
+		func(dst, src *ingestAcc) {
+			src.flush()
+			dst.added += src.added
+			if dst.err == nil {
+				dst.err = src.err
+			}
+		},
 	)
 	out.flush()
 	st.ingestedBytes.Add(stats.Bytes)
@@ -386,6 +482,11 @@ func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (
 		// Uninstrumented stores still get a (coarser, per-call) windowed
 		// rate so /v1/stats stays meaningful.
 		st.rate.Add(stats.Bytes)
+	}
+	// A store-side failure (shedding, closed) outranks the stream error:
+	// it is what the caller must react to (back off, retry).
+	if out.err != nil {
+		err = out.err
 	}
 	return out.added, stats.Malformed, err
 }

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWatchBackoffMath(t *testing.T) {
+	base := time.Second
+	want := []time.Duration{
+		1 * base, 2 * base, 4 * base, 8 * base, 16 * base,
+		16 * base, 16 * base, // capped
+	}
+	for i, w := range want {
+		if got := watchBackoff(i+1, base); got != w {
+			t.Errorf("watchBackoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// A failing directory scan backs off exponentially instead of hammering
+// the filesystem at the poll rate, and recovers as soon as a scan
+// succeeds.
+func TestWatcherScanBackoff(t *testing.T) {
+	f := corpus(t)
+	store, err := NewStore(Config{Options: f.opt, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	every := time.Second
+	missing := filepath.Join(t.TempDir(), "not-there-yet")
+	w := newWatcher(store, missing, every, nil)
+
+	t0 := time.Now()
+	w.poll(t0)
+	if w.scanFails != 1 {
+		t.Fatalf("scanFails after first failed poll = %d, want 1", w.scanFails)
+	}
+	if got := w.nextScan; !got.Equal(t0.Add(every)) {
+		t.Errorf("nextScan = %v, want t0+%v", got.Sub(t0), every)
+	}
+
+	// Polls inside the backoff window are no-ops.
+	w.poll(t0.Add(every / 2))
+	if w.scanFails != 1 {
+		t.Errorf("a poll inside the backoff window re-scanned (scanFails=%d)", w.scanFails)
+	}
+
+	// The next real attempt doubles the wait.
+	w.poll(t0.Add(every))
+	if w.scanFails != 2 {
+		t.Fatalf("scanFails after second attempt = %d, want 2", w.scanFails)
+	}
+	if got := w.nextScan; !got.Equal(t0.Add(every).Add(2 * every)) {
+		t.Errorf("nextScan after second failure = +%v, want +%v", got.Sub(t0.Add(every)), 2*every)
+	}
+
+	// Directory appears: the scan succeeds and the backoff resets.
+	if err := os.MkdirAll(missing, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w.poll(t0.Add(10 * every))
+	if w.scanFails != 0 || !w.nextScan.IsZero() {
+		t.Errorf("backoff did not reset after a good scan: fails=%d nextScan=%v", w.scanFails, w.nextScan)
+	}
+}
+
+// A file whose open fails transiently (here: a symlink whose target
+// does not exist yet) is retried with backoff, not dropped — and
+// ingests normally once the target appears.
+func TestWatcherRetriesTransientIngestFailure(t *testing.T) {
+	f := corpus(t)
+	store, err := NewStore(Config{Options: f.opt, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	dir := t.TempDir()
+	target := filepath.Join(t.TempDir(), "payload.csv")
+	link := filepath.Join(dir, "incoming.csv")
+	if err := os.Symlink(target, link); err != nil {
+		t.Fatal(err)
+	}
+
+	every := time.Second
+	w := newWatcher(store, dir, every, nil)
+
+	t0 := time.Now()
+	w.poll(t0) // first sighting: size recorded, nothing ingested
+	if len(w.fails) != 0 {
+		t.Fatalf("first sighting already failed: %+v", w.fails)
+	}
+
+	t1 := t0.Add(every)
+	w.poll(t1) // size stable → ingest attempt → open fails → backoff
+	r := w.fails[link]
+	if r == nil || r.failures != 1 {
+		t.Fatalf("transient open failure not recorded: %+v", w.fails)
+	}
+	if !r.notBefore.Equal(t1.Add(every)) {
+		t.Errorf("retry notBefore = +%v after failure, want +%v", r.notBefore.Sub(t1), every)
+	}
+
+	// Inside the backoff window nothing is attempted.
+	w.poll(t1.Add(every / 2))
+	if w.fails[link].failures != 1 {
+		t.Errorf("poll inside backoff window re-attempted the path")
+	}
+
+	// Target appears; the retry re-establishes the size window, then
+	// ingests.
+	if err := os.WriteFile(target, encodeCSV(t, f.records[:50], false), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t2 := t1.Add(every)
+	w.poll(t2)            // eligible again: records size
+	w.poll(t2.Add(every)) // size stable: ingests
+	if !w.seen[filepath.Clean(link)] {
+		t.Fatalf("file not ingested after target appeared (fails=%+v)", w.fails)
+	}
+	if len(w.fails) != 0 {
+		t.Errorf("failure state not cleared after success: %+v", w.fails)
+	}
+	if got := store.ingested.Load(); got != 50 {
+		t.Errorf("store ingested %d records via watch, want 50", got)
+	}
+}

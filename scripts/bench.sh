@@ -10,6 +10,10 @@
 # the same benchmark name for every -cpu value (bar a "-N" suffix that
 # is omitted at GOMAXPROCS=1), which would otherwise collide the rows.
 #
+# Also runs the closed-loop censord load smoke (test/e2e) against a
+# real daemon and writes its ingest-rate and query-latency figures to
+# BENCH_serve.json. SERVE_DURATION and SERVE_TARGET_MB tune it.
+#
 # Usage: scripts/bench.sh [benchtime]   (default 3x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -68,3 +72,11 @@ END {
 }' "$RAW" "$RAWCPU" > "$OUT"
 
 echo "wrote $OUT"
+
+# Serving-path load smoke: a real censord under closed-loop ingest +
+# concurrent query load, figures read from its own /metrics.
+SERVE_DURATION="${SERVE_DURATION:-5s}"
+SERVE_TARGET_MB="${SERVE_TARGET_MB:-16}"
+go test ./test/e2e -run TestLoadSmoke \
+  -load.duration "$SERVE_DURATION" -load.target-mb "$SERVE_TARGET_MB" \
+  -load.out "$(pwd)/BENCH_serve.json" -v

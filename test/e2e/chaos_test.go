@@ -1,0 +1,328 @@
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"syriafilter/internal/render"
+	"syriafilter/internal/serve"
+)
+
+// TestChaos is the fault-injection oracle: it drives a seeded random
+// action sequence — ingest batches, table/figure/range queries,
+// snapshot cuts, explicit checkpoints, SIGTERM and SIGKILL (including
+// kills timed into a running checkpoint), restarts with changed shard
+// counts and bucket widths, and corruption of the newest checkpoint
+// generation — against the real censord binary, checking after every
+// restart that:
+//
+//   - the restored record count is exactly what the durable artifacts
+//     on disk predict (after SIGTERM: every acked record; after
+//     SIGKILL: the newest uncorrupted, width-compatible generation);
+//   - re-ingesting the lost delta converges every experiment document
+//     byte-identically with a batch model run over the same records;
+//   - corrupted generations surface as restore fallbacks on /metrics
+//     instead of failing the boot.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos oracle spawns real daemons; skipped in -short")
+	}
+	w := loadWorld(t)
+	rnd := rand.New(rand.NewSource(*chaosSeed))
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := daemonConfig{
+		Seed: corpusSeed, Requests: corpusRequests,
+		Shards: 3, Bucket: time.Hour, CkptDir: ckptDir,
+	}
+	m := newModel(t, w)
+	led := newLedger(t, ckptDir)
+	counts := map[string]int{}
+	d := startDaemon(t, cfg)
+
+	// reingest replays records[from:to] into the daemon in chunks,
+	// without touching the model (it already acked them).
+	reingest := func(from, to uint64) {
+		t.Helper()
+		for lo := from; lo < to; lo += 10_000 {
+			hi := lo + 10_000
+			if hi > to {
+				hi = to
+			}
+			code, body := d.post("/v1/ingest", encodeCSV(t, w.records[lo:hi], false), false)
+			if code != 200 {
+				t.Fatalf("re-ingest [%d:%d): status %d body %s", lo, hi, code, body)
+			}
+			var resp struct {
+				Added uint64 `json:"added"`
+			}
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Added != hi-lo {
+				t.Fatalf("re-ingest [%d:%d): daemon acked %d records", lo, hi, resp.Added)
+			}
+		}
+	}
+
+	// converge cuts a snapshot and diffs every experiment document
+	// against the model — the byte-identity acceptance check.
+	converge := func(when string) {
+		t.Helper()
+		if code, body := d.post("/v1/snapshot", nil, false); code != 200 {
+			t.Fatalf("%s: POST /v1/snapshot: status %d body %s", when, code, body)
+		}
+		if got := d.snapshotRecords(); got != m.acked {
+			t.Fatalf("%s: snapshot holds %d records, model has %d acked", when, got, m.acked)
+		}
+		for _, id := range render.Order() {
+			code, body := d.get("/v1/experiments/" + id)
+			if code != 200 {
+				t.Fatalf("%s: GET %s: status %d body %s", when, id, code, body)
+			}
+			if want := m.doc(id); string(body) != string(want) {
+				t.Fatalf("%s: %s diverged from the batch model (daemon %d bytes, model %d bytes)\n got: %.300s\nwant: %.300s",
+					when, id, len(body), len(want), body, want)
+			}
+		}
+	}
+
+	// restart brings the daemon back with (possibly changed) cfg and
+	// runs the full durability validation.
+	restart := func(why string, graceful bool, corrupted bool) {
+		t.Helper()
+		expected, skipped := led.expectRestore(cfg.Bucket)
+		d = startDaemon(t, cfg)
+		if code, body := d.post("/v1/snapshot", nil, false); code != 200 {
+			t.Fatalf("%s: snapshot after restart: status %d body %s", why, code, body)
+		}
+		restored := d.snapshotRecords()
+		if restored != expected {
+			t.Fatalf("%s: restored %d records, durable artifacts predict %d (graceful=%v, %d gens skipped)\n%s",
+				why, restored, expected, graceful, skipped, d.logTail())
+		}
+		if corrupted && skipped > 0 {
+			series := d.metrics()
+			if got := metricValue(series, "censord_checkpoint_restore_fallbacks_total"); got < float64(skipped) {
+				t.Fatalf("%s: censord_checkpoint_restore_fallbacks_total = %v after skipping %d generations", why, got, skipped)
+			}
+		}
+		if restored < m.acked {
+			reingest(restored, m.acked)
+		}
+		converge(why)
+	}
+
+	stopAndReconcile := func(graceful bool) {
+		t.Helper()
+		prevBucket := cfg.Bucket
+		if graceful {
+			d.term()
+		} else {
+			d.kill()
+		}
+		led.reconcile(m.acked, prevBucket, graceful)
+		if graceful {
+			// SIGTERM durability: the final checkpoint covers every
+			// acknowledged record.
+			rec, _ := led.expectRestore(prevBucket)
+			if rec != m.acked {
+				t.Fatalf("graceful shutdown left %d durable records, %d were acked\n%s", rec, m.acked, d.logTail())
+			}
+		}
+	}
+
+	checkpointNow := func() bool {
+		t.Helper()
+		code, body := d.post("/v1/checkpoint", nil, false)
+		if code != 200 {
+			t.Fatalf("POST /v1/checkpoint: status %d body %s", code, body)
+		}
+		var info serve.CheckpointInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Records != m.acked {
+			t.Fatalf("checkpoint covers %d records, %d acked", info.Records, m.acked)
+		}
+		led.confirm(info.Generation, info.Records, cfg.Bucket)
+		return true
+	}
+
+	ingestOne := func() bool {
+		if m.acked >= uint64(len(w.records)) {
+			return false // corpus exhausted; caller picks another action
+		}
+		size := uint64(100 + rnd.Intn(400))
+		if rest := uint64(len(w.records)) - m.acked; size > rest {
+			size = rest
+		}
+		gz := rnd.Intn(3) == 0
+		path := "/v1/ingest"
+		if rnd.Intn(2) == 0 {
+			path += "?refresh=1"
+		}
+		code, body := d.post(path, encodeCSV(t, w.records[m.acked:m.acked+size], gz), gz)
+		if code != 200 {
+			t.Fatalf("POST %s: status %d body %s", path, code, body)
+		}
+		var resp struct {
+			Added uint64 `json:"added"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Added != size {
+			t.Fatalf("ingest acked %d of %d records", resp.Added, size)
+		}
+		m.ack(size)
+		return true
+	}
+
+	queryDoc := func() {
+		t.Helper()
+		order := render.Order()
+		id := order[rnd.Intn(len(order))]
+		code, body := d.get("/v1/experiments/" + id + "?fresh=1")
+		if code != 200 {
+			t.Fatalf("GET /v1/experiments/%s: status %d body %s", id, code, body)
+		}
+		if want := m.doc(id); string(body) != string(want) {
+			t.Fatalf("doc %s diverged from model\n got: %.300s\nwant: %.300s", id, body, want)
+		}
+	}
+
+	queryRange := func() {
+		t.Helper()
+		order := render.Order()
+		id := order[rnd.Intn(len(order))]
+		from, to := alignedWindow(rnd, w, cfg.Bucket)
+		path := fmt.Sprintf("/v1/range/%s?from=%d&to=%d", id, from, to)
+		code, body := d.get(path)
+		if code != 200 {
+			t.Fatalf("GET %s: status %d body %s", path, code, body)
+		}
+		if want := m.rangeDoc(id, from, to); string(body) != string(want) {
+			t.Fatalf("range %s [%d,%d) diverged from filtered model\n got: %.300s\nwant: %.300s",
+				id, from, to, body, want)
+		}
+	}
+
+	for i := 0; i < *chaosActions; i++ {
+		p := rnd.Intn(100)
+		switch {
+		case p < 38:
+			if ingestOne() {
+				counts["ingest"]++
+			} else {
+				queryDoc()
+				counts["doc"]++
+			}
+		case p < 54:
+			queryDoc()
+			counts["doc"]++
+		case p < 64:
+			queryRange()
+			counts["range"]++
+		case p < 70:
+			if code, body := d.post("/v1/snapshot", nil, false); code != 200 {
+				t.Fatalf("POST /v1/snapshot: status %d body %s", code, body)
+			}
+			counts["snapshot"]++
+		case p < 78:
+			checkpointNow()
+			counts["checkpoint"]++
+		case p < 83:
+			stopAndReconcile(true)
+			restart("sigterm-restart", true, false)
+			counts["sigterm"]++
+		case p < 90:
+			stopAndReconcile(false)
+			restart("sigkill-restart", false, false)
+			counts["sigkill"]++
+		case p < 93:
+			// Kill timed into a running checkpoint: the generation may
+			// or may not land; either way the disk stays consistent.
+			led.pending = &pendingCkpt{acked: m.acked, bucket: cfg.Bucket}
+			result := make(chan []byte, 1)
+			go func() {
+				code, body := d.post("/v1/checkpoint", nil, false)
+				if code == 200 {
+					result <- body
+				} else {
+					result <- nil
+				}
+			}()
+			time.Sleep(time.Duration(rnd.Intn(8)) * time.Millisecond)
+			d.kill()
+			select {
+			case body := <-result:
+				if body != nil {
+					var info serve.CheckpointInfo
+					if err := json.Unmarshal(body, &info); err == nil {
+						led.confirm(info.Generation, info.Records, cfg.Bucket)
+						led.pending = nil
+					}
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("mid-checkpoint request did not resolve after kill")
+			}
+			led.reconcile(m.acked, cfg.Bucket, false)
+			restart("sigkill-mid-checkpoint", false, false)
+			counts["sigkill"]++
+			counts["midckpt"]++
+		case p < 97:
+			d.kill()
+			led.reconcile(m.acked, cfg.Bucket, false)
+			desc, hitGen := led.corruptNewest(rnd.Intn(3))
+			if desc != "" {
+				t.Logf("action %d: corruption: %s", i, desc)
+				counts["corrupt"]++
+			}
+			restart("corrupt-restart ("+desc+")", false, hitGen)
+			counts["sigkill"]++
+		case p < 99:
+			stopAndReconcile(true)
+			cfg.Shards = 2 + (cfg.Shards-2+1)%3 // cycle 2,3,4
+			restart(fmt.Sprintf("shard-change-restart (shards=%d)", cfg.Shards), true, false)
+			counts["shards"]++
+		default:
+			stopAndReconcile(true)
+			if cfg.Bucket == time.Hour {
+				cfg.Bucket = 30 * time.Minute
+			} else {
+				cfg.Bucket = time.Hour
+			}
+			restart(fmt.Sprintf("bucket-change-restart (bucket=%s)", cfg.Bucket), true, false)
+			counts["bucket"]++
+		}
+	}
+
+	// Final graceful shutdown: everything acked must be durable.
+	stopAndReconcile(true)
+	restart("final-restart", true, false)
+	d.term()
+
+	t.Logf("chaos summary (%d actions, seed %d): %v; %d/%d records ingested",
+		*chaosActions, *chaosSeed, counts, m.acked, len(w.records))
+
+	// Chaos-coverage floors: a sequence long enough must actually have
+	// exercised the interesting transitions.
+	if min := max(2, *chaosActions/60); counts["sigkill"] < min {
+		t.Errorf("only %d SIGKILLs in %d actions, want >= %d", counts["sigkill"], *chaosActions, min)
+	}
+	if min := *chaosActions / 150; counts["shards"] < min {
+		t.Errorf("only %d shard-count changes in %d actions, want >= %d", counts["shards"], *chaosActions, min)
+	}
+	if *chaosActions >= 100 && counts["corrupt"] < 1 {
+		t.Errorf("no corruption injected in %d actions", *chaosActions)
+	}
+}

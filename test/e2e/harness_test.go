@@ -1,0 +1,307 @@
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// daemonConfig is the restartable part of a censord invocation: the
+// chaos loop mutates Shards and Bucket across restarts, everything
+// else stays pinned to the oracle's world.
+type daemonConfig struct {
+	Seed     uint64
+	Requests int
+	Shards   int
+	Bucket   time.Duration
+	CkptDir  string
+}
+
+// daemon is one running censord process under test control.
+type daemon struct {
+	t      *testing.T
+	cmd    *exec.Cmd
+	url    string
+	logTo  *os.File
+	exited chan error // receives cmd.Wait exactly once
+}
+
+// startDaemon boots censord on a fresh loopback port with the given
+// config and blocks until /readyz answers 200 (boot restore included).
+// While waiting it checks the restore gate: whenever /readyz is not ok,
+// POST /v1/snapshot must answer 503.
+func startDaemon(t *testing.T, cfg daemonConfig) *daemon {
+	t.Helper()
+	addr := freeAddr(t)
+	logPath := filepath.Join(cfg.CkptDir, "..", fmt.Sprintf("censord-%d.log", time.Now().UnixNano()))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(censordBin,
+		"-addr", addr,
+		"-seed", strconv.FormatUint(cfg.Seed, 10),
+		"-requests", strconv.Itoa(cfg.Requests),
+		"-shards", strconv.Itoa(cfg.Shards),
+		"-bucket", cfg.Bucket.String(),
+		"-checkpoint", cfg.CkptDir,
+		"-checkpoint-every", "0", // checkpoints only via POST /v1/checkpoint and shutdown
+		"-snapshot-every", "0", // snapshots only via POST /v1/snapshot
+		"-retain", "0", // keep every bucket live so ranges are always exact
+		"-shed-after", "-1s", // the oracle drives sequentially; never shed
+		"-log-level", "info",
+	)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{t: t, cmd: cmd, url: "http://" + addr, logTo: logFile, exited: make(chan error, 1)}
+	go func() { d.exited <- cmd.Wait() }()
+
+	deadline := time.Now().Add(60 * time.Second)
+	gateChecked := false
+	for {
+		select {
+		case err := <-d.exited:
+			d.exited <- err
+			t.Fatalf("censord exited during boot: %v\n%s", err, d.logTail())
+		default:
+		}
+		resp, err := http.Get(d.url + "/readyz")
+		if err == nil {
+			ready := resp.StatusCode == 200
+			resp.Body.Close()
+			if ready {
+				return d
+			}
+			// Satellite check: the daemon is up but not ready — the
+			// state-observing routes must refuse rather than serve a
+			// half-restored view. Tolerate the race where boot finishes
+			// between the two requests.
+			if !gateChecked {
+				code, _ := d.post("/v1/snapshot", nil, false)
+				if still, err2 := http.Get(d.url + "/readyz"); err2 == nil {
+					if still.StatusCode != 200 && code != http.StatusServiceUnavailable {
+						t.Errorf("POST /v1/snapshot while not ready: status %d, want 503", code)
+					}
+					still.Body.Close()
+				}
+				gateChecked = true
+			}
+		}
+		if time.Now().After(deadline) {
+			d.kill()
+			t.Fatalf("censord not ready after 60s\n%s", d.logTail())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// freeAddr reserves a loopback port by binding and releasing it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// logTail returns the end of the daemon's log for failure messages.
+func (d *daemon) logTail() string {
+	b, err := os.ReadFile(d.logTo.Name())
+	if err != nil {
+		return "(no log: " + err.Error() + ")"
+	}
+	if len(b) > 4096 {
+		b = b[len(b)-4096:]
+	}
+	return string(b)
+}
+
+// term sends SIGTERM and waits for a graceful exit (final checkpoint
+// included).
+func (d *daemon) term() {
+	d.t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-d.exited:
+		if err != nil {
+			d.t.Fatalf("censord exited non-zero after SIGTERM: %v\n%s", err, d.logTail())
+		}
+	case <-time.After(60 * time.Second):
+		d.kill()
+		d.t.Fatalf("censord did not exit within 60s of SIGTERM\n%s", d.logTail())
+	}
+	d.logTo.Close()
+}
+
+// kill sends SIGKILL and waits for the process to be reaped.
+func (d *daemon) kill() {
+	d.t.Helper()
+	d.cmd.Process.Kill()
+	select {
+	case <-d.exited:
+	case <-time.After(30 * time.Second):
+		d.t.Fatalf("censord not reaped 30s after SIGKILL")
+	}
+	d.logTo.Close()
+}
+
+// get fetches a path and returns status and body.
+func (d *daemon) get(path string) (int, []byte) {
+	d.t.Helper()
+	resp, err := http.Get(d.url + path)
+	if err != nil {
+		d.t.Fatalf("GET %s: %v\n%s", path, err, d.logTail())
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, b
+}
+
+// post sends a body (optionally gzip Content-Encoding) and returns
+// status and response body. Transport errors return status 0 instead
+// of failing the test: callers racing a kill handle them.
+func (d *daemon) post(path string, body []byte, gz bool) (int, []byte) {
+	req, err := http.NewRequest("POST", d.url+path, bytes.NewReader(body))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if gz {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// healthSnapshot reads /healthz and returns the published snapshot's
+// record count.
+func (d *daemon) snapshotRecords() uint64 {
+	d.t.Helper()
+	code, body := d.get("/healthz")
+	if code != 200 {
+		d.t.Fatalf("GET /healthz: status %d body %s", code, body)
+	}
+	var h struct {
+		SnapshotRecords uint64 `json:"snapshot_records"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		d.t.Fatalf("decoding /healthz: %v (%s)", err, body)
+	}
+	return h.SnapshotRecords
+}
+
+// metrics scrapes /metrics into a flat series map:
+// "name{label=\"v\"}" (or bare "name") → value.
+func (d *daemon) metrics() map[string]float64 {
+	d.t.Helper()
+	code, body := d.get("/metrics")
+	if code != 200 {
+		d.t.Fatalf("GET /metrics: status %d", code)
+	}
+	return parseMetrics(string(body))
+}
+
+func parseMetrics(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// metricValue sums every series of a family (bare name or any label
+// set), so unlabeled counters and per-label families read the same way.
+func metricValue(series map[string]float64, family string) float64 {
+	var sum float64
+	for k, v := range series {
+		if k == family || strings.HasPrefix(k, family+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// histQuantile reads a cumulative-bucket histogram for one route out of
+// a parsed /metrics scrape and returns the upper bound of the bucket
+// containing quantile q (the standard Prometheus-style estimate).
+func histQuantile(series map[string]float64, family, route string, q float64) float64 {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	prefix := family + "_bucket{"
+	for k, v := range series {
+		if !strings.HasPrefix(k, prefix) || !strings.Contains(k, `route="`+route+`"`) {
+			continue
+		}
+		leStart := strings.Index(k, `le="`)
+		if leStart < 0 {
+			continue
+		}
+		leStr := k[leStart+4:]
+		leStr = leStr[:strings.IndexByte(leStr, '"')]
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			var err error
+			if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				continue
+			}
+		}
+		buckets = append(buckets, bucket{le: le, cum: v})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0
+	}
+	want := q * total
+	for _, b := range buckets {
+		if b.cum >= want {
+			return b.le
+		}
+	}
+	return buckets[len(buckets)-1].le
+}

@@ -1,0 +1,168 @@
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// loadResult is the BENCH_serve.json shape: achieved ingest throughput
+// and query latency percentiles, both read off the daemon's own
+// /metrics exposition (so the numbers are what an operator's scraper
+// would see, not harness-side stopwatch guesses).
+type loadResult struct {
+	DurationS      float64 `json:"duration_s"`
+	TargetMBPerS   float64 `json:"target_mb_per_s"`
+	IngestMBPerS   float64 `json:"ingest_mb_per_s"`
+	IngestRecords  float64 `json:"ingest_records"`
+	IngestBatches  int     `json:"ingest_batches"`
+	QueryRequests  float64 `json:"query_requests"`
+	QueryP50S      float64 `json:"query_p50_s"`
+	QueryP95S      float64 `json:"query_p95_s"`
+	QueryP99S      float64 `json:"query_p99_s"`
+	IngestP50S     float64 `json:"ingest_p50_s"`
+	IngestP99S     float64 `json:"ingest_p99_s"`
+	ShedTotal      float64 `json:"shed_total"`
+	RaceInstrument bool    `json:"race_instrumented"`
+}
+
+// TestLoadSmoke is the closed-loop load probe: one producer streams
+// CSV batches to POST /v1/ingest pacing itself to -load.target-mb,
+// two query workers hammer table and figure endpoints concurrently,
+// and the result — achieved MB/s, latency percentiles from the
+// http_request_seconds histograms — is written to -load.out (the
+// scripts/bench.sh BENCH_serve.json producer) or logged.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke spawns a real daemon; skipped in -short")
+	}
+	w := loadWorld(t)
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, daemonConfig{
+		Seed: corpusSeed, Requests: corpusRequests,
+		Shards: 3, Bucket: time.Hour, CkptDir: ckptDir,
+	})
+	defer d.kill()
+
+	before := d.metrics()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Producer: stream pre-encoded batches at the target byte rate.
+	// Closed loop: the next batch is not sent before the previous
+	// response arrives, so overload surfaces as falling MB/s (and,
+	// past -shed-after, as 429s counted in shed_total), never as an
+	// unbounded client-side queue.
+	const batchRecords = 2000
+	var batches [][]byte
+	for lo := 0; lo+batchRecords <= len(w.records); lo += batchRecords {
+		batches = append(batches, encodeCSV(t, w.records[lo:lo+batchRecords], false))
+	}
+	var sentBatches atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		targetBps := *loadTargetMB * 1e6
+		start := time.Now()
+		var sentBytes float64
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := batches[i%len(batches)]
+			code, resp := d.post("/v1/ingest", body, false)
+			if code != 200 && code != 429 && code != 0 {
+				t.Errorf("load ingest: status %d body %s", code, resp)
+				return
+			}
+			sentBatches.Add(1)
+			sentBytes += float64(len(body))
+			// Pace: sleep until the cumulative rate drops to target.
+			ahead := sentBytes/targetBps - time.Since(start).Seconds()
+			if ahead > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Duration(ahead * float64(time.Second))):
+				}
+			}
+		}
+	}()
+
+	// Query workers: a table and a figure endpoint, plus periodic
+	// snapshot cuts so queries see fresh data.
+	for _, path := range []string{"/v1/tables/4", "/v1/figures/5"} {
+		path := path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%50 == 0 {
+					d.post("/v1/snapshot", nil, false)
+				}
+				if code, body := d.get(path); code != 200 {
+					t.Errorf("load query %s: status %d body %s", path, code, body)
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(*loadDuration)
+	close(stop)
+	wg.Wait()
+
+	after := d.metrics()
+	secs := loadDuration.Seconds()
+	ingestBytes := metricValue(after, "censord_ingest_bytes_total") - metricValue(before, "censord_ingest_bytes_total")
+	res := loadResult{
+		DurationS:      secs,
+		TargetMBPerS:   *loadTargetMB,
+		IngestMBPerS:   ingestBytes / 1e6 / secs,
+		IngestRecords:  metricValue(after, "censord_ingest_records_total"),
+		IngestBatches:  int(sentBatches.Load()),
+		QueryRequests:  metricValue(after, `http_requests_total{route="/v1/tables/{id}",code="2xx"}`) + metricValue(after, `http_requests_total{route="/v1/figures/{id}",code="2xx"}`),
+		QueryP50S:      histQuantile(after, "http_request_seconds", "/v1/tables/{id}", 0.50),
+		QueryP95S:      histQuantile(after, "http_request_seconds", "/v1/tables/{id}", 0.95),
+		QueryP99S:      histQuantile(after, "http_request_seconds", "/v1/tables/{id}", 0.99),
+		IngestP50S:     histQuantile(after, "http_request_seconds", "/v1/ingest", 0.50),
+		IngestP99S:     histQuantile(after, "http_request_seconds", "/v1/ingest", 0.99),
+		ShedTotal:      metricValue(after, "censord_ingest_shed_total"),
+		RaceInstrument: raceEnabled,
+	}
+
+	if res.IngestMBPerS <= 0 {
+		t.Error("load smoke ingested nothing")
+	}
+	if res.QueryRequests == 0 {
+		t.Error("load smoke answered no queries")
+	}
+
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, '\n')
+	t.Logf("load smoke: %s", b)
+	if *loadOut != "" {
+		if err := os.WriteFile(*loadOut, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *loadOut)
+	}
+}

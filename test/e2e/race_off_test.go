@@ -1,0 +1,5 @@
+//go:build !race
+
+package e2e
+
+const raceEnabled = false

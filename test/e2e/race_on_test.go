@@ -1,0 +1,7 @@
+//go:build race
+
+package e2e
+
+// raceEnabled mirrors whether this test binary runs under the race
+// detector, so TestMain builds the daemon with -race too.
+const raceEnabled = true
