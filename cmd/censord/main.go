@@ -109,7 +109,7 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		debugAddr  = flag.String("debug-addr", "", "optional listen address serving /debug/pprof on its own listener (empty = disabled)")
-		maxBody    = flag.Int64("max-body", 1<<30, "maximum POST /v1/ingest body size in wire bytes, 413 beyond it (0 = unbounded)")
+		maxBody    = flag.Int64("max-body", 64<<20, "maximum POST /v1/ingest body size in wire bytes, 413 beyond it (0 = unbounded)")
 		shedAfter  = flag.Duration("shed-after", serve.DefaultAddTimeout, "ingest load-shedding deadline: a shard queue full past this sheds the request with 429 instead of blocking the handler (negative = block forever)")
 		readTO     = flag.Duration("http-read-timeout", 5*time.Minute, "http.Server read timeout (covers the whole request body)")
 		writeTO    = flag.Duration("http-write-timeout", 5*time.Minute, "http.Server write timeout")

@@ -380,11 +380,19 @@ func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind s
 //
 // Failure semantics: with WithMaxBody, an oversized body answers 413
 // (the cap applies to wire bytes, before gunzip). A store shedding
-// load answers 429 with Retry-After — the response's "added" count
-// says how many records were accepted before the shed, so ingest under
-// overload is at-least-once: the daemon never buffers unboundedly or
-// hangs the handler on a stalled shard, and the producer decides what
-// to re-send. A closed (draining) store answers 503.
+// load answers 429 with Retry-After — the daemon never buffers
+// unboundedly or hangs the handler on a stalled shard. The response's
+// "added" field counts the records folded before the shed, but that
+// set is an UNSPECIFIED SUBSET of the batch, not a prefix: records
+// hash to shards and parse on independent workers, so drops can land
+// at any input position. A shed batch is therefore indivisible from
+// the client's view — resending the whole upload re-folds the
+// accepted subset (engines fold once per record, nothing dedups),
+// dropping it keeps the subset counted. Producers that need exact
+// counts should disable shedding (AddTimeout <= 0 / -shed-after -1s)
+// and let a full queue block them, or reconcile against
+// censord_ingest_records_total after a 429. A closed (draining)
+// store answers 503.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	rbody := r.Body
 	if s.maxBody > 0 {

@@ -328,7 +328,11 @@ func shardKey(rec *logfmt.Record) uint64 {
 // stalled shard cannot hang every ingest path forever. The deadline
 // covers the whole call, not each shard. Records are copied, so the
 // caller may reuse recs. Returns the records actually enqueued (all of
-// them when err is nil, 0 with ErrClosed after Close).
+// them when err is nil, 0 with ErrClosed after Close). On
+// ErrOverloaded the enqueued count is exact but the enqueued SET is
+// not an input-order prefix: records bucket by shard hash, and the
+// accepted buckets are whichever enqueued before the stalled one —
+// callers must treat a shed batch as indivisible (see handleIngest).
 func (st *Store) Add(recs []logfmt.Record) (uint64, error) {
 	if len(recs) == 0 {
 		return 0, nil
@@ -446,7 +450,11 @@ func (a *ingestAcc) flush() {
 // pool (workers <= 0 uses GOMAXPROCS): line splitting and parsing run
 // concurrently instead of on the calling goroutine, so a fat POST body
 // or log file no longer decodes on one core. Returns the records added,
-// the malformed lines skipped, and the stream's terminal error.
+// the malformed lines skipped, and the stream's terminal error. On an
+// ErrOverloaded shed, added counts an unspecified subset of the
+// stream: each worker's sticky error stops only that worker's
+// accumulator, so records after the drop point may still have been
+// accepted by other workers — the batch is not resumable from added.
 func (st *Store) IngestBlocks(br *logfmt.BlockReader, workers int) (added, malformed uint64, err error) {
 	return st.ingestBlockSources([]*pipeline.BlockSource{{R: br}}, workers)
 }

@@ -114,11 +114,13 @@ func (w *watcher) poll(now time.Time) {
 	w.nextScan = time.Time{}
 
 	ingested := false
+	present := make(map[string]bool, len(entries))
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
 		path := filepath.Clean(filepath.Join(w.dir, e.Name()))
+		present[path] = true
 		if w.seen[path] {
 			continue
 		}
@@ -152,6 +154,21 @@ func (w *watcher) poll(now time.Time) {
 		}
 		w.st.logger.Info("watch ingested", "records", added, "path", path)
 		ingested = true
+	}
+	// Files that appeared and vanished before ingesting (temp files,
+	// rotations) must not pin tracking state forever: a multi-week
+	// watch would otherwise grow these maps unboundedly. seen stays —
+	// an ingested file that reappears under the same name must not be
+	// double-counted.
+	for path := range w.sizes {
+		if !present[path] {
+			delete(w.sizes, path)
+		}
+	}
+	for path := range w.fails {
+		if !present[path] {
+			delete(w.fails, path)
+		}
 	}
 	if ingested {
 		if _, err := w.st.Refresh(); err != nil {

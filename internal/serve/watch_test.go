@@ -69,6 +69,62 @@ func TestWatcherScanBackoff(t *testing.T) {
 	}
 }
 
+// Tracking state for files that appear and then vanish (temp files,
+// rotations) is dropped on the next poll instead of accumulating for
+// the lifetime of the watcher — a multi-week watch over a spool dir
+// must not leak an entry per rotated file. Ingested files stay in
+// seen so a reappearing name is not double-counted.
+func TestWatcherPrunesVanishedFiles(t *testing.T) {
+	f := corpus(t)
+	store, err := NewStore(Config{Options: f.opt, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	dir := t.TempDir()
+	every := time.Second
+	w := newWatcher(store, dir, every, nil)
+
+	// growing: sighted (sizes entry) but never stable before vanishing.
+	growing := filepath.Join(dir, "growing.csv")
+	if err := os.WriteFile(growing, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// failing: a dangling symlink whose ingest attempt fails (fails entry).
+	failing := filepath.Join(dir, "failing.csv")
+	if err := os.Symlink(filepath.Join(dir, "no-target"), failing); err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Now()
+	w.poll(t0) // first sighting: sizes has both
+	// growing grows between polls, so it stays in the stability window.
+	if err := os.WriteFile(growing, []byte("still-partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w.poll(t0.Add(every)) // failing is size-stable → ingest fails → fails entry
+	if w.sizes[filepath.Clean(growing)] == 0 {
+		t.Fatalf("growing file fell out of the stability window: %+v", w.sizes)
+	}
+	if w.fails[filepath.Clean(failing)] == nil {
+		t.Fatalf("dangling symlink did not record a failure: %+v", w.fails)
+	}
+
+	for _, p := range []string{growing, failing} {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.poll(t0.Add(100 * every))
+	if len(w.sizes) != 0 {
+		t.Errorf("sizes entries leaked after files vanished: %+v", w.sizes)
+	}
+	if len(w.fails) != 0 {
+		t.Errorf("fails entries leaked after files vanished: %+v", w.fails)
+	}
+}
+
 // A file whose open fails transiently (here: a symlink whose target
 // does not exist yet) is retried with backoff, not dropped — and
 // ingests normally once the target appears.
