@@ -11,6 +11,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"syriafilter/internal/core"
 	"syriafilter/internal/geoip"
 	"syriafilter/internal/logfmt"
+	"syriafilter/internal/obs/trace"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/proxysim"
 	"syriafilter/internal/serve"
@@ -764,4 +766,62 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	b.Run("instrumented", func(b *testing.B) { run(b, false) })
 	b.Run("baseline", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkTraceOverhead quantifies what request-scoped tracing costs
+// the hot ingest path: the same block ingest into a serve.Store, once
+// with a Tracer wired (the censord default, spans created and recorded
+// per batch/shard) and once without (the nil-receiver no-op path). The
+// acceptance bar is traced within ~2% of disabled MB/s — tracing is
+// always on in production, so this is the price of every byte ingested.
+func BenchmarkTraceOverhead(b *testing.B) {
+	f := fixture(b)
+	var buf bytes.Buffer
+	w := logfmt.NewWriter(&buf)
+	if err := w.WriteHeader(); err != nil {
+		b.Fatal(err)
+	}
+	for i := range f.records {
+		if err := w.Write(&f.records[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	opts := benchOpts(f)
+
+	run := func(b *testing.B, tr *trace.Tracer) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := serve.NewStore(serve.Config{Options: opts, Shards: 4, Tracer: tr})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The traced arm ingests under a live root span — the shape
+			// of a POST /v1/ingest request — so per-shard apply spans,
+			// the pipeline child span and publication all run for real.
+			// With tr == nil the identical call sites no-op.
+			ctx := trace.NewContext(context.Background(), tr.Root("bench.ingest"))
+			b.StartTimer()
+			added, _, err := st.IngestBlocksCtx(ctx, logfmt.NewBlockReader(bytes.NewReader(data)), 0)
+			b.StopTimer()
+			trace.FromContext(ctx).End()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if added == 0 {
+				b.Fatal("empty ingest")
+			}
+			st.Close()
+			b.StartTimer()
+		}
+	}
+	b.Run("traced", func(b *testing.B) {
+		run(b, trace.New(trace.Config{Slow: trace.DefaultSlow}))
+	})
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 }

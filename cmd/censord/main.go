@@ -22,6 +22,7 @@
 //	curl localhost:8080/healthz          # liveness: ok whenever up
 //	curl localhost:8080/readyz           # readiness: 503 until boot completes
 //	curl localhost:8080/metrics          # Prometheus text exposition
+//	curl localhost:8080/debug/traces     # flight recorder: slow/error traces
 //	curl localhost:8080/v1/tables/4
 //	curl localhost:8080/v1/figures/8?format=text
 //	curl 'localhost:8080/v1/range/table4?from=2011-08-01&to=2011-08-04'
@@ -39,7 +40,11 @@
 // past -shed-after fails the request with 429 + Retry-After instead
 // of hanging the handler (censord_ingest_shed_total counts these).
 // POST /v1/checkpoint cuts a checkpoint on demand when -checkpoint is
-// set. Logs are structured
+// set. Every request is traced (W3C traceparent honored, X-Request-ID
+// derived otherwise): traces slower than -trace-slow (default 250ms)
+// or errored are always retained in the in-memory flight recorder at
+// GET /debug/traces, the rest sampled 1-in--trace-sample; -trace-slow 0
+// disables tracing entirely. Logs are structured
 // (log/slog) — -log-level selects verbosity, -log-format text|json the
 // encoding — and every request is access-logged with an X-Request-ID.
 // -debug-addr serves net/http/pprof on a second, separately bindable
@@ -84,6 +89,7 @@ import (
 	"syriafilter/internal/bittorrent"
 	"syriafilter/internal/core"
 	"syriafilter/internal/obs"
+	"syriafilter/internal/obs/trace"
 	"syriafilter/internal/serve"
 	"syriafilter/internal/synth"
 )
@@ -115,14 +121,40 @@ func main() {
 		writeTO    = flag.Duration("http-write-timeout", 5*time.Minute, "http.Server write timeout")
 		idleTO     = flag.Duration("http-idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 		keepGens   = flag.Int("keep-generations", serve.DefaultKeepGenerations, "checkpoint generations kept on disk; restore falls back one generation at a time when the newest is damaged")
+		traceSlow  = flag.Duration("trace-slow", trace.DefaultSlow, "flight-recorder slow threshold: traces at least this long (and errored traces) are always retained and logged (0 = disable tracing)")
+		traceSmpl  = flag.Int("trace-sample", trace.DefaultSample, "flight-recorder sampling: 1 in N fast, error-free traces is retained alongside every slow/error trace")
+		traceRing  = flag.Int("trace-ring", trace.DefaultRingSize, "flight-recorder capacity per retention class (slow/error vs sampled), per shard")
+		version    = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		b := obs.ReadBuild()
+		fmt.Printf("censord %s (%s, rev %s)\n", b.Version, b.GoVersion, b.VCSRevision)
+		return
+	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fatal(err)
 	}
 	slog.SetDefault(logger)
+	build := obs.ReadBuild()
+	logger.Info("censord starting", "version", build.Version,
+		"go", build.GoVersion, "revision", build.VCSRevision, "dirty", build.Dirty)
+
+	// The flight recorder is always on unless -trace-slow 0: tracing is
+	// how a multi-week unattended run explains its own latency outliers
+	// after the fact, and the disabled path is what it costs to keep it.
+	var tracer *trace.Tracer
+	if *traceSlow > 0 {
+		tracer = trace.New(trace.Config{
+			Slow:     *traceSlow,
+			Sample:   *traceSmpl,
+			RingSize: *traceRing,
+			Logger:   logger,
+		})
+	}
 
 	gen, err := synth.New(synth.Config{Seed: *seed, TotalRequests: *requests})
 	if err != nil {
@@ -159,6 +191,7 @@ func main() {
 		AddTimeout:      *shedAfter,
 		KeepGenerations: *keepGens,
 		Logger:          logger,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -238,8 +271,8 @@ func main() {
 	}
 	if *ckptDir != "" {
 		dir := *ckptDir
-		opts = append(opts, serve.WithCheckpoint(func() (serve.CheckpointInfo, error) {
-			return store.Checkpoint(dir)
+		opts = append(opts, serve.WithCheckpoint(func(ctx context.Context) (serve.CheckpointInfo, error) {
+			return store.CheckpointCtx(ctx, dir)
 		}))
 	}
 	handler := serve.NewServer(store, gen, opts...)

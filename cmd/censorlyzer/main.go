@@ -78,8 +78,15 @@ func main() {
 		sketchK  = flag.Int("sketch-topk", core.DefaultSketchTopK, "space-saving capacity per frequency table with -sketch")
 		logLevel = flag.String("log-level", "info", "diagnostic log verbosity: debug, info, warn or error")
 		logFmt   = flag.String("log-format", "text", "diagnostic log encoding: text or json")
+		version  = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		b := obs.ReadBuild()
+		fmt.Printf("censorlyzer %s (%s, rev %s)\n", b.Version, b.GoVersion, b.VCSRevision)
+		return
+	}
 
 	l, err := obs.NewLogger(os.Stderr, *logLevel, *logFmt)
 	if err != nil {

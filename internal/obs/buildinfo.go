@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: module version, toolchain and
+// VCS state, read once from the build info stamped by `go build`. It
+// is embedded in /v1/stats and exported as the classic build_info
+// gauge so dashboards can segment every metric by revision.
+type Build struct {
+	Version     string `json:"version"`
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	Dirty       bool   `json:"dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// ReadBuild returns the binary's build identity. Values degrade
+// gracefully: binaries built outside a VCS checkout (or with buildvcs
+// off) report "unknown" revision but still carry the Go version.
+func ReadBuild() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{Version: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			buildInfo.Version = v
+		} else {
+			buildInfo.Version = "devel"
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo exports the build identity on r as the
+// conventional constant-1 info gauge:
+//
+//	censord_build_info{version, goversion, vcs_revision} 1
+func RegisterBuildInfo(r *Registry) {
+	b := ReadBuild()
+	rev := b.VCSRevision
+	if rev == "" {
+		rev = "unknown"
+	}
+	r.Gauge("censord_build_info", "Build identity of the running binary (value is always 1).",
+		"version", b.Version, "goversion", b.GoVersion, "vcs_revision", rev).Set(1)
+}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"syriafilter/internal/obs/trace"
 )
 
 // HTTPMetrics is one route's pre-resolved instrument set: request
@@ -76,11 +78,20 @@ var (
 	reqIDFn = func() string { return fmt.Sprintf("%06x-%08x", bootID, reqSeq.Add(1)) }
 )
 
-// Middleware wraps next with the route's metrics and, when logger is
-// non-nil, a structured access log line per request carrying a
-// process-unique request id (also exposed to the client as
-// X-Request-ID, and honored when the client supplies one).
-func Middleware(m *HTTPMetrics, logger *slog.Logger, next http.Handler) http.Handler {
+// Middleware wraps next with the route's metrics, a root trace span
+// when tr is non-nil and, when logger is non-nil, a structured access
+// log line per request carrying a process-unique request id (also
+// exposed to the client as X-Request-ID, and honored when the client
+// supplies one).
+//
+// Trace identity: an inbound W3C traceparent header continues the
+// caller's trace; absent (or malformed) traceparent, the trace id is
+// derived deterministically from the request id, so a trace is
+// findable at /debug/traces from the X-Request-ID the client already
+// has. The outbound traceparent names the root span so future
+// cross-peer fan-out can link to it. Responses with status >= 500 mark
+// the trace errored, which pins it in the flight recorder.
+func Middleware(m *HTTPMetrics, logger *slog.Logger, tr *trace.Tracer, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.inFlight.Add(1)
@@ -91,6 +102,22 @@ func Middleware(m *HTTPMetrics, logger *slog.Logger, next http.Handler) http.Han
 			reqID = reqIDFn()
 		}
 		w.Header().Set("X-Request-ID", reqID)
+
+		var sp *trace.Span
+		if tr != nil {
+			traceID, parent, ok := trace.ParseTraceparent(r.Header.Get(trace.Traceparent))
+			if !ok {
+				traceID, parent = trace.DeriveTraceID(reqID), trace.SpanID{}
+			}
+			sp = tr.RootFrom(r.Method+" "+m.route, traceID, parent)
+			sp.SetAttrs(
+				trace.Str("request_id", reqID),
+				trace.Str("method", r.Method),
+				trace.Str("path", r.URL.Path),
+			)
+			w.Header().Set("Traceparent", trace.FormatTraceparent(sp.TraceID(), sp.ID()))
+			r = r.WithContext(trace.NewContext(r.Context(), sp))
+		}
 
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
@@ -106,6 +133,14 @@ func Middleware(m *HTTPMetrics, logger *slog.Logger, next http.Handler) http.Han
 		}
 		m.byClass[class].Inc()
 		m.latency.Observe(elapsed.Seconds())
+
+		if sp != nil {
+			sp.SetAttrs(trace.Int("status", int64(status)), trace.Int("bytes", sw.bytes))
+			if status >= 500 {
+				sp.Fail(fmt.Errorf("http %d", status))
+			}
+			sp.End()
+		}
 
 		if logger != nil {
 			logger.LogAttrs(r.Context(), slog.LevelInfo, "http",

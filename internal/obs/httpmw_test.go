@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"syriafilter/internal/obs/trace"
 )
 
 func TestMiddleware(t *testing.T) {
@@ -14,7 +16,7 @@ func TestMiddleware(t *testing.T) {
 	m := NewHTTPMetrics(r, "/v1/thing/{id}")
 	var logBuf bytes.Buffer
 	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
-	h := Middleware(m, logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := Middleware(m, logger, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if m.inFlight.Value() != 1 {
 			t.Errorf("in_flight during request = %d, want 1", m.inFlight.Value())
 		}
@@ -79,11 +81,77 @@ func TestMiddleware(t *testing.T) {
 	}
 }
 
+// TestMiddlewareTracing: a traced request gets a root span findable in
+// the flight recorder, an inbound traceparent continues the caller's
+// trace, a malformed one falls back to the X-Request-ID derivation, and
+// 5xx responses mark the trace errored.
+func TestMiddlewareTracing(t *testing.T) {
+	tr := trace.New(trace.Config{Slow: -1}) // retain everything
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "/v1/thing/{id}")
+	h := Middleware(m, nil, tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sp := trace.FromContext(r.Context()); sp == nil {
+			t.Error("no span in request context")
+		}
+		if r.URL.Path == "/v1/thing/boom" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+
+	// Inbound traceparent: the response echoes the same trace id with
+	// the new root span id, and the recorder holds the trace under it.
+	inbound := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	req := httptest.NewRequest("GET", "/v1/thing/42", nil)
+	req.Header.Set("traceparent", inbound)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	// The recorder publishes synchronously on End, so Find works now.
+	found := tr.Recorder().Find("0af7651916cd43dd8448eb211c80319c")
+	if found == nil {
+		t.Fatal("trace with inbound id not in recorder")
+	}
+	if found.Error {
+		t.Error("2xx trace marked errored")
+	}
+
+	// Malformed traceparent: trace id is derived from the request id,
+	// so the trace is findable from the X-Request-ID the client got.
+	req2 := httptest.NewRequest("GET", "/v1/thing/7", nil)
+	req2.Header.Set("traceparent", "garbage")
+	req2.Header.Set("X-Request-ID", "fallback-7")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	want := trace.DeriveTraceID("fallback-7")
+	if got := rec2.Header().Get("Traceparent"); !strings.Contains(got, want.String()) {
+		t.Errorf("Traceparent = %q, want derived trace id %s", got, want)
+	}
+	if tr.Recorder().Find(want.String()) == nil {
+		t.Error("derived-id trace not in recorder")
+	}
+
+	// 5xx pins the trace as errored.
+	req3 := httptest.NewRequest("GET", "/v1/thing/boom", nil)
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, req3)
+	tid, _, ok := trace.ParseTraceparent(rec3.Header().Get("Traceparent"))
+	if !ok {
+		t.Fatalf("response Traceparent unparsable: %q", rec3.Header().Get("Traceparent"))
+	}
+	boom := tr.Recorder().Find(tid.String())
+	if boom == nil {
+		t.Fatal("5xx trace not in recorder")
+	}
+	if !boom.Error {
+		t.Error("5xx trace not marked errored")
+	}
+}
+
 // TestMiddlewareNilLogger: metrics without access logging.
 func TestMiddlewareNilLogger(t *testing.T) {
 	r := NewRegistry()
 	m := NewHTTPMetrics(r, "/x")
-	h := Middleware(m, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h := Middleware(m, nil, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	req := httptest.NewRequest("GET", "/x", nil)
 	h.ServeHTTP(httptest.NewRecorder(), req)
 	if m.byClass[2].Value() != 1 {

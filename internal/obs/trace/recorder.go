@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+	"sync/atomic"
+)
+
+// recorderShards spreads recording across independent rings keyed by
+// trace-id low bits so concurrent publishers never contend on one
+// counter. Power of two.
+const recorderShards = 4
+
+// Trace is one completed, immutable trace tree as published to the
+// flight recorder and rendered at /debug/traces. Spans are flat with
+// parent links; TreeView nests them.
+type Trace struct {
+	ID            string     `json:"id"`
+	Root          string     `json:"root"`
+	StartUnixNano int64      `json:"start_unix_nano"`
+	EndUnixNano   int64      `json:"end_unix_nano"`
+	DurationMS    float64    `json:"duration_ms"`
+	Slow          bool       `json:"slow"`
+	Error         bool       `json:"error"`
+	DroppedSpans  int        `json:"dropped_spans,omitempty"`
+	Spans         []SpanData `json:"spans"`
+}
+
+// SpanData is one completed span.
+type SpanData struct {
+	ID            string         `json:"id"`
+	Parent        string         `json:"parent,omitempty"`
+	Name          string         `json:"name"`
+	StartUnixNano int64          `json:"start_unix_nano"`
+	EndUnixNano   int64          `json:"end_unix_nano"`
+	DurationMS    float64        `json:"duration_ms"`
+	Attrs         map[string]any `json:"attrs,omitempty"`
+	Events        []EventData    `json:"events,omitempty"`
+	Error         string         `json:"error,omitempty"`
+	DroppedEvents int            `json:"dropped_events,omitempty"`
+}
+
+// EventData is one completed span event.
+type EventData struct {
+	Name       string         `json:"name"`
+	AtUnixNano int64          `json:"at_unix_nano"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanNode is a span with its children nested — the tree view.
+type SpanNode struct {
+	SpanData
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// TreeView nests the flat span list by parent links. Orphans (parent
+// dropped past the span cap, or a remote parent from an inherited
+// traceparent) attach to the root. Siblings sort by start time.
+func (t *Trace) TreeView() *SpanNode {
+	if len(t.Spans) == 0 {
+		return nil
+	}
+	nodes := make(map[string]*SpanNode, len(t.Spans))
+	for i := range t.Spans {
+		nodes[t.Spans[i].ID] = &SpanNode{SpanData: t.Spans[i]}
+	}
+	root := nodes[t.Spans[0].ID]
+	for i := range t.Spans {
+		n := nodes[t.Spans[i].ID]
+		if n == root {
+			continue
+		}
+		p, ok := nodes[n.Parent]
+		if !ok || p == n {
+			p = root
+		}
+		p.Children = append(p.Children, n)
+	}
+	var sortKids func(n *SpanNode)
+	sortKids = func(n *SpanNode) {
+		sort.Slice(n.Children, func(i, j int) bool {
+			return n.Children[i].StartUnixNano < n.Children[j].StartUnixNano
+		})
+		for _, c := range n.Children {
+			sortKids(c)
+		}
+	}
+	sortKids(root)
+	return root
+}
+
+// TreeJSON renders the nested tree as compact JSON — the payload of the
+// slow-trace log line.
+func (t *Trace) TreeJSON() []byte {
+	b, err := json.Marshal(t.TreeView())
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}
+
+// ring is a fixed-size lock-free overwrite buffer of completed traces:
+// put claims a slot with one atomic add and stores the pointer; readers
+// load slots without coordination and may see a torn ordering but never
+// a torn trace (traces are immutable once published).
+type ring struct {
+	pos   atomic.Uint64
+	slots []atomic.Pointer[Trace]
+}
+
+func newRing(n int) *ring { return &ring{slots: make([]atomic.Pointer[Trace], n)} }
+
+func (r *ring) put(t *Trace) {
+	i := (r.pos.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(t)
+}
+
+func (r *ring) collect(out []*Trace) []*Trace {
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// recShard pairs two rings: notable (slow or errored traces — never
+// evicted by fast traffic) and recent (the sampled remainder). Tail
+// retention falls out of the split: a flood of fast requests can only
+// cycle the recent ring, so the slow trace the operator is hunting
+// stays put until enough *notable* traces displace it.
+type recShard struct {
+	notable *ring
+	recent  *ring
+}
+
+// Recorder is the flight recorder: it retains recently completed
+// traces for GET /debug/traces. All methods are nil-safe.
+type Recorder struct {
+	shards [recorderShards]recShard
+	sample uint64
+
+	seq         atomic.Uint64 // sampling clock
+	total       atomic.Uint64
+	keptSlow    atomic.Uint64
+	keptError   atomic.Uint64
+	keptSampled atomic.Uint64
+	dropped     atomic.Uint64
+}
+
+func newRecorder(ringSize int, sample uint64) *Recorder {
+	r := &Recorder{sample: sample}
+	for i := range r.shards {
+		r.shards[i] = recShard{notable: newRing(ringSize), recent: newRing(ringSize)}
+	}
+	return r
+}
+
+// record applies tail-based retention to one completed trace and
+// reports whether it was kept.
+func (r *Recorder) record(t *Trace) bool {
+	r.total.Add(1)
+	sh := &r.shards[shardOf(t.ID)]
+	switch {
+	case t.Error:
+		r.keptError.Add(1)
+		sh.notable.put(t)
+	case t.Slow:
+		r.keptSlow.Add(1)
+		sh.notable.put(t)
+	case r.seq.Add(1)%r.sample == 0:
+		r.keptSampled.Add(1)
+		sh.recent.put(t)
+	default:
+		r.dropped.Add(1)
+		return false
+	}
+	return true
+}
+
+// shardOf picks a shard from the trace id's tail hex digit.
+func shardOf(id string) int {
+	if len(id) == 0 {
+		return 0
+	}
+	return int(id[len(id)-1]) % recorderShards
+}
+
+// Snapshot returns up to limit retained traces, newest first, skipping
+// those shorter than minDurMS. limit <= 0 means no limit.
+func (r *Recorder) Snapshot(limit int, minDurMS float64) []*Trace {
+	if r == nil {
+		return nil
+	}
+	var all []*Trace
+	for i := range r.shards {
+		all = r.shards[i].notable.collect(all)
+		all = r.shards[i].recent.collect(all)
+	}
+	if minDurMS > 0 {
+		kept := all[:0]
+		for _, t := range all {
+			if t.DurationMS >= minDurMS {
+				kept = append(kept, t)
+			}
+		}
+		all = kept
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].EndUnixNano > all[j].EndUnixNano })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}
+
+// Find returns the retained trace with the given id, or nil.
+func (r *Recorder) Find(id string) *Trace {
+	if r == nil || id == "" {
+		return nil
+	}
+	sh := &r.shards[shardOf(id)]
+	for _, rg := range []*ring{sh.notable, sh.recent} {
+		for i := range rg.slots {
+			if t := rg.slots[i].Load(); t != nil && t.ID == id {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// RecorderStats summarizes retention behavior for /v1/stats.
+type RecorderStats struct {
+	SlowThresholdMS float64 `json:"slow_threshold_ms"`
+	Capacity        int     `json:"capacity"`
+	Retained        int     `json:"retained"`
+	RecordedTotal   uint64  `json:"recorded_total"`
+	KeptSlow        uint64  `json:"kept_slow"`
+	KeptError       uint64  `json:"kept_error"`
+	KeptSampled     uint64  `json:"kept_sampled"`
+	SampledOut      uint64  `json:"sampled_out"`
+}
+
+// Stats returns retention counters (nil recorder → nil).
+func (r *Recorder) Stats() *RecorderStats {
+	if r == nil {
+		return nil
+	}
+	st := &RecorderStats{
+		RecordedTotal: r.total.Load(),
+		KeptSlow:      r.keptSlow.Load(),
+		KeptError:     r.keptError.Load(),
+		KeptSampled:   r.keptSampled.Load(),
+		SampledOut:    r.dropped.Load(),
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		st.Capacity += len(sh.notable.slots) + len(sh.recent.slots)
+		for j := range sh.notable.slots {
+			if sh.notable.slots[j].Load() != nil {
+				st.Retained++
+			}
+		}
+		for j := range sh.recent.slots {
+			if sh.recent.slots[j].Load() != nil {
+				st.Retained++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkTrace publishes one synthetic trace through a tracer configured so
+// slow/error classification is controlled by the caller.
+func publish(tr *Tracer, slow bool, fail bool) string {
+	root := tr.Root("op")
+	if slow {
+		// Slow threshold is 1ns in these tests, so any real duration
+		// qualifies; fast traces are produced with Slow: time.Hour.
+		time.Sleep(time.Microsecond)
+	}
+	if fail {
+		root.Fail(fmt.Errorf("boom"))
+	}
+	root.End()
+	return root.TraceID().String()
+}
+
+// TestEvictionKeepsNotable is the tail-retention contract: a flood of
+// fast traces must not evict slow or errored ones.
+func TestEvictionKeepsNotable(t *testing.T) {
+	tr := New(Config{Slow: -1, RingSize: 4, Sample: 1})
+	slowIDs := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		slowIDs = append(slowIDs, publish(tr, true, false))
+	}
+
+	fast := New(Config{Slow: time.Hour, RingSize: 4, Sample: 1})
+	// Reuse the SAME recorder so fast traffic competes with the slow
+	// traces for slots.
+	fast.rec = tr.rec
+	var errID string
+	for i := 0; i < 500; i++ {
+		if i == 250 {
+			root := fast.Root("op")
+			root.Fail(fmt.Errorf("x"))
+			root.End()
+			errID = root.TraceID().String()
+		} else {
+			publish(fast, false, false)
+		}
+	}
+
+	for _, id := range slowIDs {
+		if tr.rec.Find(id) == nil {
+			t.Errorf("slow trace %s evicted by fast traffic", id)
+		}
+	}
+	if tr.rec.Find(errID) == nil {
+		t.Error("error trace evicted by fast traffic")
+	}
+	st := tr.rec.Stats()
+	if st.KeptSlow != 4 || st.KeptError != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SampledOut != 0 && st.KeptSampled+st.SampledOut != 499 {
+		t.Fatalf("fast accounting: %+v", st)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Config{Slow: time.Hour, RingSize: 256, Sample: 10})
+	for i := 0; i < 100; i++ {
+		publish(tr, false, false)
+	}
+	st := tr.rec.Stats()
+	if st.KeptSampled != 10 || st.SampledOut != 90 {
+		t.Fatalf("sample 1-in-10 of 100: kept %d dropped %d", st.KeptSampled, st.SampledOut)
+	}
+}
+
+func TestSnapshotOrderLimitFilter(t *testing.T) {
+	tr := New(Config{Slow: -1, RingSize: 64})
+	for i := 0; i < 10; i++ {
+		publish(tr, false, false)
+	}
+	all := tr.rec.Snapshot(0, 0)
+	if len(all) != 10 {
+		t.Fatalf("snapshot len = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].EndUnixNano < all[i].EndUnixNano {
+			t.Fatal("snapshot not newest-first")
+		}
+	}
+	if got := tr.rec.Snapshot(3, 0); len(got) != 3 {
+		t.Fatalf("limit 3 -> %d", len(got))
+	}
+	if got := tr.rec.Snapshot(0, 1e9); len(got) != 0 {
+		t.Fatalf("min filter let %d through", len(got))
+	}
+}
+
+// TestRecorderContention exercises concurrent publishers against
+// concurrent Snapshot/Find/Stats readers; run with -race this pins the
+// lock-free ring's safety.
+func TestRecorderContention(t *testing.T) {
+	tr := New(Config{Slow: -1, RingSize: 8})
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for j := 0; j < 300; j++ {
+				root := tr.Root("w")
+				c := root.Child("c")
+				c.SetAttrs(Int("i", int64(i)))
+				c.End()
+				if j%7 == 0 {
+					root.Fail(fmt.Errorf("e"))
+				}
+				root.End()
+			}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tc := range tr.rec.Snapshot(10, 0) {
+					if tc.ID == "" || len(tc.Spans) == 0 {
+						t.Error("torn trace observed")
+						return
+					}
+					tr.rec.Find(tc.ID)
+					tc.TreeJSON()
+				}
+				tr.rec.Stats()
+			}
+		}()
+	}
+	writersDone := make(chan struct{})
+	go func() { writers.Wait(); close(writersDone) }()
+	select {
+	case <-writersDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("contention test wedged")
+	}
+	close(stop)
+	readers.Wait()
+	st := tr.rec.Stats()
+	if st.RecordedTotal != 4*300 {
+		t.Fatalf("recorded %d, want %d", st.RecordedTotal, 4*300)
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	tr := New(Config{})
+	if tr.rec.Find("deadbeef") != nil || tr.rec.Find("") != nil {
+		t.Fatal("Find on missing id must be nil")
+	}
+	var nilRec *Recorder
+	if nilRec.Find("x") != nil || nilRec.Snapshot(1, 0) != nil || nilRec.Stats() != nil {
+		t.Fatal("nil recorder must no-op")
+	}
+}

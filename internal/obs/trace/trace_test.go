@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// keepAll returns a tracer that treats every trace as slow, so tests
+// never race a wall-clock threshold.
+func keepAll(t *testing.T) *Tracer {
+	t.Helper()
+	return New(Config{Slow: -1})
+}
+
+func TestSpanTreePublication(t *testing.T) {
+	tr := keepAll(t)
+	root := tr.Root("GET /v1/range")
+	root.SetAttrs(Str("route", "/v1/range/"), Int("status", 200))
+	c1 := root.Child("range.shard")
+	c1.SetAttrs(Int("shard", 0))
+	c1.Event("dequeued")
+	c1.End()
+	c2 := root.Child("render")
+	c2.End()
+	root.End()
+
+	got := tr.Recorder().Find(root.TraceID().String())
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	if got.Root != "GET /v1/range" || len(got.Spans) != 3 {
+		t.Fatalf("trace = root %q, %d spans; want root span + 2 children", got.Root, len(got.Spans))
+	}
+	if got.Spans[0].Attrs["route"] != "/v1/range/" || got.Spans[0].Attrs["status"] != int64(200) {
+		t.Fatalf("root attrs = %v", got.Spans[0].Attrs)
+	}
+	tree := got.TreeView()
+	if tree == nil || len(tree.Children) != 2 {
+		t.Fatalf("tree children = %v", tree)
+	}
+	if tree.Children[0].Name != "range.shard" || len(tree.Children[0].Events) != 1 {
+		t.Fatalf("first child = %+v", tree.Children[0])
+	}
+}
+
+func TestDeferredPublication(t *testing.T) {
+	// A child that outlives the root (async shard apply) must delay
+	// publication until it ends, and the published tree must include it.
+	tr := keepAll(t)
+	root := tr.Root("ingest")
+	child := root.Child("shard.apply")
+	root.End()
+	if tr.Recorder().Find(root.TraceID().String()) != nil {
+		t.Fatal("trace published while a span was still open")
+	}
+	child.End()
+	got := tr.Recorder().Find(root.TraceID().String())
+	if got == nil || len(got.Spans) != 2 {
+		t.Fatalf("after last span end: %+v", got)
+	}
+}
+
+func TestErrorMarksTrace(t *testing.T) {
+	tr := New(Config{Slow: time.Hour}) // nothing is slow
+	root := tr.Root("POST /v1/ingest")
+	root.Fail(errors.New("overloaded"))
+	root.End()
+	got := tr.Recorder().Find(root.TraceID().String())
+	if got == nil {
+		t.Fatal("errored trace must always be retained")
+	}
+	if !got.Error || got.Slow {
+		t.Fatalf("flags = slow %v error %v", got.Slow, got.Error)
+	}
+	if got.Spans[0].Error != "overloaded" {
+		t.Fatalf("span error = %q", got.Spans[0].Error)
+	}
+}
+
+func TestFailNilErrIgnored(t *testing.T) {
+	tr := keepAll(t)
+	root := tr.Root("op")
+	root.Fail(nil)
+	root.End()
+	if got := tr.Recorder().Find(root.TraceID().String()); got == nil || got.Error {
+		t.Fatalf("nil Fail must not mark error: %+v", got)
+	}
+}
+
+func TestOpRecordsBackgroundTrace(t *testing.T) {
+	tr := keepAll(t)
+	start := time.Now().Add(-10 * time.Millisecond)
+	tr.Op("timewin.compact", start, nil, Int("buckets", 3))
+	traces := tr.Recorder().Snapshot(0, 0)
+	if len(traces) != 1 || traces[0].Root != "timewin.compact" {
+		t.Fatalf("snapshot = %+v", traces)
+	}
+	if traces[0].DurationMS < 9 {
+		t.Fatalf("op duration = %v ms, want >= ~10", traces[0].DurationMS)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := keepAll(t)
+	root := tr.Root("fanout")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		root.Child(fmt.Sprintf("c%d", i)).End()
+	}
+	root.End()
+	got := tr.Recorder().Find(root.TraceID().String())
+	if got == nil {
+		t.Fatal("trace not retained")
+	}
+	if len(got.Spans) != maxSpansPerTrace {
+		t.Fatalf("spans = %d, want cap %d", len(got.Spans), maxSpansPerTrace)
+	}
+	if got.DroppedSpans != 11 {
+		t.Fatalf("dropped = %d, want 11", got.DroppedSpans)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := keepAll(t)
+	sp := tr.Root("r")
+	defer sp.End()
+	ctx := NewContext(context.Background(), sp)
+	if got := FromContext(ctx); got != sp {
+		t.Fatalf("FromContext = %v, want %v", got, sp)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("bare context span = %v", got)
+	}
+	if ctx2 := NewContext(context.Background(), nil); FromContext(ctx2) != nil {
+		t.Fatal("nil span must not be stored")
+	}
+}
+
+// TestNoTraceZeroAlloc pins the disabled-tracing fast path: with a nil
+// tracer/span every operation — including variadic attrs — must be
+// allocation-free.
+func TestNoTraceZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Root("r")
+		sp = FromContext(NewContext(ctx, sp))
+		c := sp.Child("child")
+		c.SetAttrs(Int("records", 12), Str("shard", "3"))
+		c.Event("dequeued", Int("depth", 2))
+		c.Fail(nil)
+		c.End()
+		sp.End()
+		tr.Op("bg", time.Time{}, nil, Int("n", 1))
+		tr.Recorder().Stats()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-trace path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	tr := keepAll(t)
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 10000; i++ {
+		id := tr.newTraceID()
+		if id.IsZero() || seen[id] {
+			t.Fatalf("dup or zero id at %d: %v", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcurrentSpansOneTrace(t *testing.T) {
+	// Many goroutines hanging children off one root, as shard workers do.
+	tr := keepAll(t)
+	root := tr.Root("ingest")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.Child("shard.apply")
+				c.SetAttrs(Int("shard", int64(i)))
+				c.Event("dequeued")
+				c.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	got := tr.Recorder().Find(root.TraceID().String())
+	if got == nil || len(got.Spans) != 1+8*50 {
+		t.Fatalf("spans = %d, want %d", len(got.Spans), 1+8*50)
+	}
+}
+
+func TestRootFromInheritsIdentity(t *testing.T) {
+	tr := keepAll(t)
+	id, parent, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	sp := tr.RootFrom("GET /v1/stats", id, parent)
+	sp.End()
+	got := tr.Recorder().Find("4bf92f3577b34da6a3ce929d0e0e4736")
+	if got == nil {
+		t.Fatal("inherited-id trace not found")
+	}
+	// The remote parent is not a local span; tree view must still work.
+	if tree := got.TreeView(); tree == nil || tree.Name != "GET /v1/stats" {
+		t.Fatalf("tree = %+v", tree)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := keepAll(t)
+	sp := tr.Root("r")
+	defer sp.End()
+	hdr := FormatTraceparent(sp.TraceID(), sp.ID())
+	id, parent, ok := ParseTraceparent(hdr)
+	if !ok || id != sp.TraceID() || parent != sp.ID() {
+		t.Fatalf("round trip %q -> %v %v %v", hdr, id, parent, ok)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // no flags
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",   // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // trailing
+	}
+	for _, v := range bad {
+		if _, _, ok := ParseTraceparent(v); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", v)
+		}
+	}
+}
+
+func TestDeriveTraceIDDeterministic(t *testing.T) {
+	a := DeriveTraceID("00000a-00000001")
+	b := DeriveTraceID("00000a-00000001")
+	c := DeriveTraceID("00000a-00000002")
+	if a != b {
+		t.Fatal("not deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct request ids collided")
+	}
+	if a.IsZero() || DeriveTraceID("").IsZero() {
+		t.Fatal("derived id must never be zero")
+	}
+}

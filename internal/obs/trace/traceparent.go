@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/hex"
+	"hash/fnv"
+)
+
+// Traceparent is the W3C trace-context header name.
+const Traceparent = "traceparent"
+
+// ParseTraceparent parses a W3C traceparent header value:
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// Only version 00 is accepted; all-zero trace or span ids are invalid
+// per spec. Returns ok=false on any malformed input — the caller then
+// falls back to deriving a fresh identity.
+func ParseTraceparent(v string) (id TraceID, parent SpanID, ok bool) {
+	if len(v) != 55 || v[0] != '0' || v[1] != '0' ||
+		v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return id, parent, false
+	}
+	if _, err := hex.Decode(id[:], []byte(v[3:35])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(v[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.DecodeString(v[53:55]); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if id.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return id, parent, true
+}
+
+// FormatTraceparent renders the outbound traceparent for a span, always
+// with the sampled flag set (censord records tail-based, so every
+// request is a candidate).
+func FormatTraceparent(id TraceID, span SpanID) string {
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = hexAppend(b, id[:])
+	b = append(b, '-')
+	b = hexAppend(b, span[:])
+	b = append(b, '-', '0', '1')
+	return string(b)
+}
+
+func hexAppend(dst, src []byte) []byte {
+	const digits = "0123456789abcdef"
+	for _, c := range src {
+		dst = append(dst, digits[c>>4], digits[c&0xf])
+	}
+	return dst
+}
+
+// DeriveTraceID maps an opaque request id (the X-Request-ID header) to
+// a deterministic trace id, so a request without a traceparent still
+// gets a trace findable from the id the client already logged. FNV-1a
+// over two salts fills the 16 bytes.
+func DeriveTraceID(requestID string) TraceID {
+	var id TraceID
+	h := fnv.New64a()
+	h.Write([]byte(requestID))
+	v := h.Sum64()
+	h.Write([]byte{0xff})
+	w := h.Sum64()
+	for i := 0; i < 8; i++ {
+		id[i] = byte(v >> (8 * (7 - i)))
+		id[8+i] = byte(w >> (8 * (7 - i)))
+	}
+	if id.IsZero() {
+		id[15] = 1
+	}
+	return id
+}

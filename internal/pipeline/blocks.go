@@ -44,6 +44,15 @@ type BlockStats struct {
 // hook, and the only per-block cost of the disabled path is a nil check.
 type BlockObs struct {
 	OnBlock func(blk BlockStats, seconds float64)
+	// OnRead, when non-nil, is called after each block *read* (the
+	// upstream half of the pipeline: file/socket I/O plus line
+	// snapping, before any parsing) with the block's size and the
+	// read's wall-clock duration. Reads happen on the per-source reader
+	// goroutines, so OnRead must be safe for concurrent use. Together
+	// with OnBlock this splits ingest latency into its two stages —
+	// "waiting on bytes" vs "parsing bytes" — which is exactly the
+	// attribution a slow-ingest trace needs.
+	OnRead func(bytes int, seconds float64)
 }
 
 func (o *BlockObs) observe(blk BlockStats, seconds float64) {
@@ -51,6 +60,19 @@ func (o *BlockObs) observe(blk BlockStats, seconds float64) {
 		return
 	}
 	o.OnBlock(blk, seconds)
+}
+
+// next reads one block from src, reporting the read to OnRead.
+func (o *BlockObs) next(src *BlockSource) (logfmt.Block, bool) {
+	if o == nil || o.OnRead == nil {
+		return src.R.Next()
+	}
+	t0 := time.Now()
+	blk, ok := src.R.Next()
+	if ok {
+		o.OnRead(len(blk.Data), time.Since(t0).Seconds())
+	}
+	return blk, ok
 }
 
 // BlockSource is one block stream plus its error-attribution context.
@@ -110,7 +132,7 @@ func RunBlockSourcesObs[A any](srcs []*BlockSource, n int, obs *BlockObs, newAcc
 		acc := newAcc()
 		var stats BlockStats
 		for {
-			blk, ok := src.R.Next()
+			blk, ok := obs.next(src)
 			if !ok {
 				break
 			}
@@ -154,7 +176,7 @@ func RunBlockSourcesObs[A any](srcs []*BlockSource, n int, obs *BlockObs, newAcc
 		go func(i int, src *BlockSource) {
 			defer readWG.Done()
 			for !stop.Load() {
-				blk, ok := src.R.Next()
+				blk, ok := obs.next(src)
 				if !ok {
 					break
 				}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"syriafilter/internal/obs/trace"
 	"syriafilter/internal/statecodec"
 	"syriafilter/internal/timewin"
 )
@@ -79,17 +81,38 @@ var ErrNoCheckpoint = errors.New("serve: no checkpoint manifest")
 // ingest and queries keep running; only the shard currently encoding
 // pauses its ingest.
 func (st *Store) Checkpoint(dir string) (CheckpointInfo, error) {
+	return st.CheckpointCtx(context.Background(), dir)
+}
+
+// CheckpointCtx is Checkpoint inside a traced context: the write (and
+// each shard's encode, via "ckpt.shard" children) joins the span ctx
+// carries, or becomes its own background "checkpoint.write" trace when
+// ctx has none (the periodic -checkpoint-every loop).
+func (st *Store) CheckpointCtx(ctx context.Context, dir string) (CheckpointInfo, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if st.closed {
 		return CheckpointInfo{}, ErrClosed
 	}
-	return st.checkpoint(dir)
+	return st.checkpointSpan(dir, trace.FromContext(ctx))
 }
 
 // checkpoint is Checkpoint without the closed gate, so the final
 // checkpoint of CloseAndCheckpoint can run after closed flips.
 func (st *Store) checkpoint(dir string) (CheckpointInfo, error) {
+	return st.checkpointSpan(dir, nil)
+}
+
+func (st *Store) checkpointSpan(dir string, parent *trace.Span) (info CheckpointInfo, err error) {
+	sp := parent.Child("checkpoint.write")
+	if parent == nil {
+		sp = st.tracer.Root("checkpoint.write")
+	}
+	defer func() {
+		sp.SetAttrs(trace.Str("generation", info.Generation), trace.Int("bytes", info.Bytes))
+		sp.Fail(err)
+		sp.End()
+	}()
 	st.ckptMu.Lock()
 	defer st.ckptMu.Unlock()
 	t0 := time.Now()
@@ -126,12 +149,15 @@ func (st *Store) checkpoint(dir string) (CheckpointInfo, error) {
 		i := i
 		path := filepath.Join(tmpDir, shardFileName(i))
 		dones[i] = make(chan struct{})
-		sh.msgs <- shardMsg{done: dones[i], op: func(p *timewin.Partition, observed *uint64) {
+		ssp := sp.Child("ckpt.shard")
+		ssp.SetAttrs(trace.Int("shard", int64(i)))
+		sh.msgs <- shardMsg{done: dones[i], span: ssp, op: func(p *timewin.Partition, observed *uint64) {
 			results[i].records = *observed
 			results[i].bytes, results[i].err = writeShardFile(path, i, len(st.shards), *observed, p)
+			ssp.Fail(results[i].err)
 		}}
 	}
-	info := CheckpointInfo{
+	info = CheckpointInfo{
 		Generation:  gen,
 		CreatedUnix: time.Now().Unix(),
 		Shards:      len(st.shards),
@@ -349,6 +375,15 @@ func scanGenerations(dir string) ([]genEntry, uint64) {
 func (st *Store) Restore(dir string) (CheckpointInfo, error) {
 	st.restoring.Store(true)
 	defer st.restoring.Store(false)
+	// Restore happens at boot, outside any request, so it is its own
+	// background trace; each generation attempt is a child span whose
+	// failure records why the walk fell back.
+	sp := st.tracer.Root("checkpoint.restore")
+	var spErr error
+	defer func() {
+		sp.Fail(spErr)
+		sp.End()
+	}()
 	t0 := time.Now()
 
 	m, merr := readManifest(dir)
@@ -365,9 +400,11 @@ func (st *Store) Restore(dir string) (CheckpointInfo, error) {
 	}
 	if len(gens) == 0 {
 		if merr != nil {
+			spErr = merr
 			return CheckpointInfo{}, merr // missing manifest → ErrNoCheckpoint
 		}
-		return CheckpointInfo{}, fmt.Errorf("serve: manifest names %s but no generation directory exists", m.Generation)
+		spErr = fmt.Errorf("serve: manifest names %s but no generation directory exists", m.Generation)
+		return CheckpointInfo{}, spErr
 	}
 	if merr != nil {
 		st.logger.Warn("checkpoint manifest unusable, walking generations newest to oldest",
@@ -385,14 +422,19 @@ func (st *Store) Restore(dir string) (CheckpointInfo, error) {
 
 	var firstErr error
 	for _, g := range gens {
+		gsp := sp.Child("restore.generation")
+		gsp.SetAttrs(trace.Str("generation", g.name))
 		info, folded, err := st.restoreGeneration(dir, g, m)
+		gsp.Fail(err)
+		gsp.End()
 		if err != nil {
 			if folded {
 				// The fold phase started, so the store may hold a partial
 				// generation: absorbing an older one on top would corrupt
 				// it. (Unreachable in practice — decode validates
 				// everything the fold checks — but never walk past it.)
-				return CheckpointInfo{}, fmt.Errorf("serve: restore %s failed mid-fold: %w", g.name, err)
+				spErr = fmt.Errorf("serve: restore %s failed mid-fold: %w", g.name, err)
+				return CheckpointInfo{}, spErr
 			}
 			st.obsm.restoreFallbacks.Inc()
 			st.logger.Warn("checkpoint generation unusable, falling back to previous",
@@ -405,9 +447,11 @@ func (st *Store) Restore(dir string) (CheckpointInfo, error) {
 		st.lastCkpt.Store(&info)
 		st.obsm.restores.Inc()
 		st.obsm.restoreSeconds.Observe(time.Since(t0).Seconds())
+		sp.SetAttrs(trace.Int("records", int64(info.Records)))
 		return info, nil
 	}
-	return CheckpointInfo{}, fmt.Errorf("serve: no checkpoint generation in %s decodes: %w", dir, firstErr)
+	spErr = fmt.Errorf("serve: no checkpoint generation in %s decodes: %w", dir, firstErr)
+	return CheckpointInfo{}, spErr
 }
 
 // restoreGeneration decodes one generation directory completely and,

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -160,7 +161,7 @@ func TestGateServingWhileNotReady(t *testing.T) {
 	ready := NewReadiness("draining")
 	srv := httptest.NewServer(NewServer(store, f.gen,
 		WithReadiness(ready),
-		WithCheckpoint(func() (CheckpointInfo, error) { return CheckpointInfo{}, nil })))
+		WithCheckpoint(func(context.Context) (CheckpointInfo, error) { return CheckpointInfo{}, nil })))
 	defer srv.Close()
 
 	gated := []struct{ method, path string }{

@@ -3,10 +3,12 @@ package serve
 import (
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/obs"
+	"syriafilter/internal/obs/trace"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/timewin"
 )
@@ -22,11 +24,16 @@ type storeMetrics struct {
 	malformed    *obs.Counter
 	bytes        *obs.Counter
 	parseSeconds *obs.Histogram
+	readSeconds  *obs.Histogram
 	backpressure *obs.Histogram
 	shed         *obs.Counter
 
 	snapshots       *obs.Counter
 	snapshotSeconds *obs.Histogram
+
+	rangeMerges       *obs.Counter
+	rangeMergeBuckets *obs.Counter
+	rangeMergeSeconds *obs.Histogram
 
 	compactions      *obs.Counter
 	compactedBuckets *obs.Counter
@@ -51,6 +58,9 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 			"Raw log bytes consumed by the block ingest paths (post-gunzip)."),
 		parseSeconds: r.Histogram("censord_ingest_parse_seconds",
 			"Per-block parse latency.", nil),
+		readSeconds: r.Histogram("censord_ingest_read_seconds",
+			"Per-block read latency (file/socket I/O plus line snapping, "+
+				"before parsing) — the upstream half of ingest.", nil),
 		backpressure: r.Histogram("censord_ingest_backpressure_seconds",
 			"Time Add spent blocked on a full shard queue (0 = enqueued immediately).", nil),
 		shed: r.Counter("censord_ingest_shed_total",
@@ -61,6 +71,13 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 			"Snapshot rebuilds (Refresh calls that completed)."),
 		snapshotSeconds: r.Histogram("censord_snapshot_build_seconds",
 			"Snapshot build duration.", nil),
+
+		rangeMerges: r.Counter("censord_range_merges_total",
+			"Per-shard range merges (RangeInto calls that covered something)."),
+		rangeMergeBuckets: r.Counter("censord_range_merge_buckets_total",
+			"Bucket merges performed by range queries across all shards."),
+		rangeMergeSeconds: r.Histogram("censord_range_merge_seconds",
+			"Per-shard range merge duration.", nil),
 
 		compactions: r.Counter("censord_timewin_compactions_total",
 			"Retention compaction passes across all shard partitions."),
@@ -87,25 +104,44 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 // per-block hook, and feeds the windowed byte-rate as blocks complete
 // (so a long streaming POST moves ingest_mb_per_s while still running).
 func (st *Store) blockObsHook() *pipeline.BlockObs {
-	return &pipeline.BlockObs{OnBlock: func(b pipeline.BlockStats, seconds float64) {
-		st.obsm.blocks.Inc()
-		st.obsm.records.Add(b.Records)
-		st.obsm.malformed.Add(b.Malformed)
-		st.obsm.bytes.Add(b.Bytes)
-		st.obsm.parseSeconds.Observe(seconds)
-		st.rate.Add(b.Bytes)
-	}}
+	return &pipeline.BlockObs{
+		OnBlock: func(b pipeline.BlockStats, seconds float64) {
+			st.obsm.blocks.Inc()
+			st.obsm.records.Add(b.Records)
+			st.obsm.malformed.Add(b.Malformed)
+			st.obsm.bytes.Add(b.Bytes)
+			st.obsm.parseSeconds.Observe(seconds)
+			st.rate.Add(b.Bytes)
+		},
+		OnRead: func(_ int, seconds float64) {
+			st.obsm.readSeconds.Observe(seconds)
+		},
+	}
 }
 
-// partitionObsHook adapts the shared compaction instruments to
-// timewin's hook. Compactions run on shard goroutines concurrently;
-// the obs objects are atomic, so one shared hook serves every shard.
+// partitionObsHook adapts the shared compaction and range-merge
+// instruments to timewin's hook. Both fire on shard goroutines
+// concurrently; the obs objects are atomic, so one shared hook serves
+// every shard. Compaction passes — rare, inline with ingest, and
+// invisible to any single request — are additionally recorded as
+// single-span background traces so an ingest stall caused by a big
+// compaction shows up in the flight recorder.
 func (st *Store) partitionObsHook() *timewin.PartitionObs {
-	return &timewin.PartitionObs{OnCompact: func(buckets int, seconds float64) {
-		st.obsm.compactions.Inc()
-		st.obsm.compactedBuckets.Add(uint64(buckets))
-		st.obsm.compactSeconds.Observe(seconds)
-	}}
+	return &timewin.PartitionObs{
+		OnCompact: func(buckets int, seconds float64) {
+			st.obsm.compactions.Inc()
+			st.obsm.compactedBuckets.Add(uint64(buckets))
+			st.obsm.compactSeconds.Observe(seconds)
+			st.tracer.Op("timewin.compact",
+				time.Now().Add(-time.Duration(seconds*float64(time.Second))), nil,
+				trace.Int("buckets", int64(buckets)))
+		},
+		OnRangeMerge: func(buckets int, records uint64, seconds float64) {
+			st.obsm.rangeMerges.Inc()
+			st.obsm.rangeMergeBuckets.Add(uint64(buckets))
+			st.obsm.rangeMergeSeconds.Observe(seconds)
+		},
+	}
 }
 
 // registerObsFuncs registers the scrape-sampled series: state another
@@ -113,6 +149,7 @@ func (st *Store) partitionObsHook() *timewin.PartitionObs {
 // generation, sketch footprints) read through closures at scrape time
 // instead of being double-counted on the hot path.
 func (st *Store) registerObsFuncs(r *obs.Registry) {
+	obs.RegisterBuildInfo(r)
 	r.CounterFunc("censord_store_records_total",
 		"Records folded into the store, restored checkpoints included "+
 			"(monotone across a warm restart).",

@@ -3,18 +3,21 @@ package serve
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/obs"
+	"syriafilter/internal/obs/trace"
 	"syriafilter/internal/render"
 	"syriafilter/internal/synth"
 	"syriafilter/internal/timewin"
@@ -34,6 +37,8 @@ import (
 //	POST /v1/ingest                   CSV log lines (gzip ok) into the store
 //	POST /v1/snapshot                 force a snapshot rebuild
 //	POST /v1/checkpoint               cut a checkpoint now (WithCheckpoint)
+//	GET  /debug/traces                flight recorder: retained traces (?limit&min_ms)
+//	GET  /debug/traces/{id}           one trace as a nested span tree
 //
 // Query endpoints serve JSON by default and aligned text with
 // ?format=text; ?fresh=1 rebuilds the snapshot before answering. JSON
@@ -53,7 +58,7 @@ type Server struct {
 	logger  *slog.Logger
 	ready   *Readiness
 	maxBody int64
-	ckptFn  func() (CheckpointInfo, error)
+	ckptFn  func(ctx context.Context) (CheckpointInfo, error)
 }
 
 // ServerOption customizes NewServer.
@@ -76,9 +81,9 @@ func WithMaxBody(n int64) ServerOption { return func(s *Server) { s.maxBody = n 
 
 // WithCheckpoint enables POST /v1/checkpoint: fn cuts a checkpoint now
 // and returns what was written. The daemon wires this to
-// Store.Checkpoint with its -checkpoint dir; without the option the
-// endpoint answers 501.
-func WithCheckpoint(fn func() (CheckpointInfo, error)) ServerOption {
+// Store.CheckpointCtx with its -checkpoint dir (the ctx carries the
+// request's trace span); without the option the endpoint answers 501.
+func WithCheckpoint(fn func(ctx context.Context) (CheckpointInfo, error)) ServerOption {
 	return func(s *Server) { s.ckptFn = fn }
 }
 
@@ -96,7 +101,7 @@ func NewServer(store *Store, gen *synth.Generator, opts ...ServerOption) *Server
 			s.mux.Handle(pattern, h)
 			return
 		}
-		s.mux.Handle(pattern, obs.Middleware(obs.NewHTTPMetrics(reg, route), s.logger, h))
+		s.mux.Handle(pattern, obs.Middleware(obs.NewHTTPMetrics(reg, route), s.logger, store.Tracer(), h))
 	}
 	handle("GET /healthz", "/healthz", s.handleHealth)
 	handle("GET /readyz", "/readyz", s.handleReady)
@@ -109,6 +114,8 @@ func NewServer(store *Store, gen *synth.Generator, opts ...ServerOption) *Server
 	handle("POST /v1/ingest", "/v1/ingest", s.handleIngest)
 	handle("POST /v1/snapshot", "/v1/snapshot", s.handleSnapshot)
 	handle("POST /v1/checkpoint", "/v1/checkpoint", s.handleCheckpoint)
+	handle("GET /debug/traces", "/debug/traces", s.handleTraces)
+	handle("GET /debug/traces/{id}", "/debug/traces/{id}", s.handleTrace)
 	if reg != nil {
 		// The scrape itself is instrumented too — http_requests_total
 		// {route="/metrics"} shows scraper health.
@@ -267,12 +274,14 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	an, cov, err := s.store.Range(win)
+	an, cov, err := s.store.RangeCtx(r.Context(), win)
 	if err != nil {
 		s.writeRangeError(w, err)
 		return
 	}
+	rsp := trace.FromContext(r.Context()).Child("render")
 	doc, err := render.Render(id, render.Context{An: an, Gen: s.gen})
+	rsp.End()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -292,11 +301,14 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveRangeSeries(w http.ResponseWriter, r *http.Request, id string, win timewin.Window, step int64) {
-	wins, err := s.store.RangeSeries(win, step)
+	wins, err := s.store.RangeSeriesCtx(r.Context(), win, step)
 	if err != nil {
 		s.writeRangeError(w, err)
 		return
 	}
+	rsp := trace.FromContext(r.Context()).Child("render")
+	rsp.SetAttrs(trace.Int("windows", int64(len(wins))))
+	defer rsp.End()
 	series := &render.Series{ID: id, Kind: render.Kind(id), Title: render.Title(id), StepSeconds: step}
 	for _, rw := range wins {
 		doc, err := render.Render(id, render.Context{An: rw.An, Gen: s.gen})
@@ -345,7 +357,7 @@ func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind s
 	snap := s.store.Current()
 	if r.URL.Query().Get("fresh") == "1" {
 		var err error
-		if snap, err = s.store.Refresh(); err != nil {
+		if snap, err = s.store.RefreshCtx(r.Context()); err != nil {
 			writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 			return
 		}
@@ -411,7 +423,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		defer zr.Close()
 		body = zr
 	}
-	added, malformed, err := s.store.IngestBlocks(logfmt.NewBlockReader(body), 0)
+	added, malformed, err := s.store.IngestBlocksCtx(r.Context(), logfmt.NewBlockReader(body), 0)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		switch {
@@ -433,7 +445,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]any{"added": added, "malformed": malformed}
 	if r.URL.Query().Get("refresh") == "1" {
-		snap, err := s.store.Refresh()
+		snap, err := s.store.RefreshCtx(r.Context())
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 			return
@@ -448,7 +460,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.gateServing(w) {
 		return
 	}
-	snap, err := s.store.Refresh()
+	snap, err := s.store.RefreshCtx(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
@@ -472,7 +484,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.gateServing(w) {
 		return
 	}
-	info, err := s.ckptFn()
+	info, err := s.ckptFn(r.Context())
 	if err != nil {
 		if errors.Is(err, ErrClosed) {
 			w.Header().Set("Retry-After", "1")
@@ -483,4 +495,85 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// traceSummary is one row of the /debug/traces list: enough to scan for
+// the slow or errored trace, small enough that a big ring lists fast.
+// The span tree itself is one more GET away.
+type traceSummary struct {
+	ID         string  `json:"id"`
+	Root       string  `json:"root"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Slow       bool    `json:"slow"`
+	Error      bool    `json:"error"`
+	Spans      int     `json:"spans"`
+}
+
+// handleTraces lists the flight recorder's retained traces, newest
+// first (?limit caps the list, default 50; ?min_ms filters short
+// traces). Deliberately NOT gated by gateServing: the recorder exists
+// precisely to diagnose a daemon that is draining, restoring or
+// shedding, so it must stay readable in every state — the 503s those
+// states produce are themselves traced (status >= 500 marks the trace
+// errored, which pins it in the ring).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tr := s.store.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (store has no tracer)")
+		return
+	}
+	q := r.URL.Query()
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	var minMS float64
+	if v := q.Get("min_ms"); v != "" {
+		minMS, _ = strconv.ParseFloat(v, 64)
+	}
+	traces := tr.Recorder().Snapshot(limit, minMS)
+	out := make([]traceSummary, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, traceSummary{
+			ID:         t.ID,
+			Root:       t.Root,
+			Start:      time.Unix(0, t.StartUnixNano).UTC().Format(time.RFC3339Nano),
+			DurationMS: t.DurationMS,
+			Slow:       t.Slow,
+			Error:      t.Error,
+			Spans:      len(t.Spans),
+		})
+	}
+	st := tr.Recorder().Stats()
+	st.SlowThresholdMS = float64(tr.Slow()) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, map[string]any{"stats": st, "traces": out})
+}
+
+// handleTrace serves one retained trace as a nested span tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.store.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (store has no tracer)")
+		return
+	}
+	id := r.PathValue("id")
+	t := tr.Recorder().Find(id)
+	if t == nil {
+		writeError(w, http.StatusNotFound,
+			"trace %q not retained (evicted, sampled out, or never recorded)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":            t.ID,
+		"root":          t.Root,
+		"start":         time.Unix(0, t.StartUnixNano).UTC().Format(time.RFC3339Nano),
+		"duration_ms":   t.DurationMS,
+		"slow":          t.Slow,
+		"error":         t.Error,
+		"dropped_spans": t.DroppedSpans,
+		"tree":          t.TreeView(),
+	})
 }

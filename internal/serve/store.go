@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"syriafilter/internal/core"
 	"syriafilter/internal/logfmt"
 	"syriafilter/internal/obs"
+	"syriafilter/internal/obs/trace"
 	"syriafilter/internal/pipeline"
 	"syriafilter/internal/stats"
 	"syriafilter/internal/timewin"
@@ -81,6 +83,12 @@ type Config struct {
 	// objects (whose methods are no-ops), no per-block hooks. This is
 	// the benchmark baseline, not an expected production setting.
 	DisableObs bool
+	// Tracer, when non-nil, spans every store operation that a request
+	// can wait on — shard enqueue, per-shard apply, range merges,
+	// snapshot cuts, checkpoint writes — into the request's trace (or a
+	// background trace for periodic work). nil disables tracing at zero
+	// cost: every span call is a nil-receiver no-op.
+	Tracer *trace.Tracer
 }
 
 // Snapshot is one immutable point-in-time view of the store. Its
@@ -130,6 +138,12 @@ type Stats struct {
 	IngestMBPerS         float64        `json:"ingest_mb_per_s"`
 	Timewin              timewin.Meta   `json:"timewin"`
 	Obs                  map[string]any `json:"obs,omitempty"`
+	// Build identifies the running binary (version, Go toolchain, VCS
+	// revision) so a stats scrape is attributable to a deploy.
+	Build obs.Build `json:"build"`
+	// Trace summarizes the flight recorder (retention counters, slow
+	// threshold); absent when the store runs without a Tracer.
+	Trace *trace.RecorderStats `json:"trace,omitempty"`
 }
 
 // shardMsg is one unit of shard work: either a batch to observe or a
@@ -141,6 +155,13 @@ type shardMsg struct {
 	batch []logfmt.Record
 	op    func(p *timewin.Partition, observed *uint64)
 	done  chan struct{}
+	// span, when non-nil, covers this message's life on the shard: it
+	// was started at enqueue time, gets a "dequeued" event when the
+	// shard goroutine picks it up (so queue wait and apply time are
+	// separable in the trace) and ends after the batch or op ran. The
+	// span belongs to the enqueuer's trace; Span is safe to touch from
+	// the shard goroutine.
+	span *trace.Span
 }
 
 type shard struct {
@@ -151,15 +172,19 @@ func (s *shard) loop(p *timewin.Partition, wg *sync.WaitGroup) {
 	defer wg.Done()
 	var observed uint64
 	for m := range s.msgs {
+		m.span.Event("dequeued")
 		if m.op != nil {
 			m.op(p, &observed)
 			close(m.done)
+			m.span.End()
 			continue
 		}
 		for i := range m.batch {
 			p.Observe(&m.batch[i])
 		}
 		observed += uint64(len(m.batch))
+		m.span.SetAttrs(trace.Int("records", int64(len(m.batch))))
+		m.span.End()
 	}
 }
 
@@ -207,7 +232,13 @@ type Store struct {
 	reg       *obs.Registry      // nil when DisableObs
 	obsm      storeMetrics       // zero value (all no-ops) when DisableObs
 	blockObs  *pipeline.BlockObs // nil when DisableObs
+	tracer    *trace.Tracer      // nil = tracing disabled
 	restoring atomic.Bool        // a checkpoint restore is in flight
+
+	// rangeStall, when non-nil, runs inside every range shard op before
+	// the merge — a test hook for injecting per-shard latency so trace
+	// attribution can be pinned without depending on real load.
+	rangeStall func(shard int)
 
 	ckptSeq  atomic.Uint64                  // checkpoint generation counter
 	lastCkpt atomic.Pointer[CheckpointInfo] // most recent written or restored checkpoint
@@ -249,7 +280,8 @@ func NewStore(cfg Config) (*Store, error) {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), addTimeout: addTimeout,
-		keepGens: keepGens, logger: logger, start: time.Now(), stop: make(chan struct{}), rate: &obs.RateWindow{}}
+		keepGens: keepGens, logger: logger, start: time.Now(), stop: make(chan struct{}), rate: &obs.RateWindow{},
+		tracer: cfg.Tracer}
 	var twObs *timewin.PartitionObs
 	if !cfg.DisableObs {
 		st.reg = cfg.Registry
@@ -334,6 +366,18 @@ func shardKey(rec *logfmt.Record) uint64 {
 // accepted buckets are whichever enqueued before the stalled one —
 // callers must treat a shed batch as indivisible (see handleIngest).
 func (st *Store) Add(recs []logfmt.Record) (uint64, error) {
+	return st.add(recs, nil)
+}
+
+// AddCtx is Add carried inside a traced request: when ctx holds a span
+// the enqueue wait, the shed decision and each per-shard apply become
+// child spans of it (the apply span covers queue wait plus fold, with a
+// "dequeued" event separating them).
+func (st *Store) AddCtx(ctx context.Context, recs []logfmt.Record) (uint64, error) {
+	return st.add(recs, trace.FromContext(ctx))
+}
+
+func (st *Store) add(recs []logfmt.Record, sp *trace.Span) (uint64, error) {
 	if len(recs) == 0 {
 		return 0, nil
 	}
@@ -357,8 +401,13 @@ func (st *Store) Add(recs []logfmt.Record) (uint64, error) {
 		if len(b) == 0 {
 			continue
 		}
+		msg := shardMsg{batch: b}
+		if sp != nil {
+			msg.span = sp.Child("shard.apply")
+			msg.span.SetAttrs(trace.Int("shard", int64(i)))
+		}
 		select {
-		case st.shards[i].msgs <- shardMsg{batch: b}:
+		case st.shards[i].msgs <- msg:
 			st.obsm.backpressure.Observe(0)
 			added += uint64(len(b))
 			continue
@@ -369,17 +418,27 @@ func (st *Store) Add(recs []logfmt.Record) (uint64, error) {
 			defer timer.Stop()
 			deadline = timer.C
 		}
+		wait := sp.Child("enqueue.wait")
+		wait.SetAttrs(trace.Int("shard", int64(i)))
 		t0 := time.Now()
 		select {
-		case st.shards[i].msgs <- shardMsg{batch: b}:
+		case st.shards[i].msgs <- msg:
 			st.obsm.backpressure.Observe(time.Since(t0).Seconds())
+			wait.End()
 			added += uint64(len(b))
 		case <-deadline: // nil (never ready) when shedding is disabled
 			st.obsm.backpressure.Observe(time.Since(t0).Seconds())
 			st.obsm.shed.Inc()
 			st.ingested.Add(added)
-			return added, fmt.Errorf("%w: shard %d after %v (%d of %d records enqueued)",
+			err := fmt.Errorf("%w: shard %d after %v (%d of %d records enqueued)",
 				ErrOverloaded, i, st.addTimeout, added, len(recs))
+			wait.Fail(err)
+			wait.End()
+			// The apply span was started but its message never enqueued:
+			// close it here or the trace would never publish.
+			msg.span.Fail(err)
+			msg.span.End()
+			return added, err
 		}
 	}
 	st.ingested.Add(added)
@@ -422,6 +481,7 @@ func (st *Store) IngestScanner(sc pipeline.Scanner) (uint64, error) {
 // block strings ParseBlock produced, which stay valid for good.
 type ingestAcc struct {
 	st    *Store
+	sp    *trace.Span // the request span batches attach to (nil untraced)
 	batch []logfmt.Record
 	added uint64
 	err   error // sticky: first Add failure; later records are dropped
@@ -439,7 +499,7 @@ func (a *ingestAcc) observe(rec *logfmt.Record) {
 
 func (a *ingestAcc) flush() {
 	if len(a.batch) > 0 && a.err == nil {
-		n, err := a.st.Add(a.batch)
+		n, err := a.st.add(a.batch, a.sp)
 		a.added += n
 		a.err = err
 		a.batch = a.batch[:0]
@@ -456,24 +516,61 @@ func (a *ingestAcc) flush() {
 // accumulator, so records after the drop point may still have been
 // accepted by other workers — the batch is not resumable from added.
 func (st *Store) IngestBlocks(br *logfmt.BlockReader, workers int) (added, malformed uint64, err error) {
-	return st.ingestBlockSources([]*pipeline.BlockSource{{R: br}}, workers)
+	return st.ingestBlockSources([]*pipeline.BlockSource{{R: br}}, workers, nil)
+}
+
+// IngestBlocksCtx is IngestBlocks carried inside a traced request: the
+// block pipeline (read + parse stages, aggregated) and each shard
+// enqueue/apply become child spans of the span ctx carries.
+func (st *Store) IngestBlocksCtx(ctx context.Context, br *logfmt.BlockReader, workers int) (added, malformed uint64, err error) {
+	return st.ingestBlockSources([]*pipeline.BlockSource{{R: br}}, workers, trace.FromContext(ctx))
 }
 
 // IngestFiles block-ingests every path (gzip-transparent): one block
 // reader goroutine per file, all feeding the shared parse pool.
 func (st *Store) IngestFiles(paths []string, workers int) (added, malformed uint64, err error) {
+	return st.IngestFilesCtx(context.Background(), paths, workers)
+}
+
+// IngestFilesCtx is IngestFiles under a traced context (see
+// IngestBlocksCtx).
+func (st *Store) IngestFilesCtx(ctx context.Context, paths []string, workers int) (added, malformed uint64, err error) {
 	srcs, closer, err := pipeline.OpenBlockFiles(paths)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer closer.Close()
-	return st.ingestBlockSources(srcs, workers)
+	return st.ingestBlockSources(srcs, workers, trace.FromContext(ctx))
 }
 
-func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (uint64, uint64, error) {
-	out, stats, err := pipeline.RunBlockSourcesObs(srcs, workers, st.blockObs,
+func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int, sp *trace.Span) (uint64, uint64, error) {
+	// When traced, wrap the store's block hook so the pipeline's two
+	// stages (reading bytes vs parsing them) aggregate into one
+	// "pipeline.blocks" child span — per-block spans would drown the
+	// trace, per-stage totals are what attribution needs.
+	bobs := st.blockObs
+	psp := sp.Child("pipeline.blocks")
+	var parseNS, readNS atomic.Int64
+	if psp != nil {
+		inner := st.blockObs
+		bobs = &pipeline.BlockObs{
+			OnBlock: func(blk pipeline.BlockStats, seconds float64) {
+				parseNS.Add(int64(seconds * 1e9))
+				if inner != nil && inner.OnBlock != nil {
+					inner.OnBlock(blk, seconds)
+				}
+			},
+			OnRead: func(n int, seconds float64) {
+				readNS.Add(int64(seconds * 1e9))
+				if inner != nil && inner.OnRead != nil {
+					inner.OnRead(n, seconds)
+				}
+			},
+		}
+	}
+	out, stats, err := pipeline.RunBlockSourcesObs(srcs, workers, bobs,
 		func() *ingestAcc {
-			return &ingestAcc{st: st, batch: make([]logfmt.Record, 0, pipeline.BatchSize)}
+			return &ingestAcc{st: st, sp: sp, batch: make([]logfmt.Record, 0, pipeline.BatchSize)}
 		},
 		func(a *ingestAcc, rec *logfmt.Record) { a.observe(rec) },
 		func(dst, src *ingestAcc) {
@@ -496,6 +593,17 @@ func (st *Store) ingestBlockSources(srcs []*pipeline.BlockSource, workers int) (
 	if out.err != nil {
 		err = out.err
 	}
+	if psp != nil {
+		psp.SetAttrs(
+			trace.Int("records", int64(stats.Records)),
+			trace.Int("malformed", int64(stats.Malformed)),
+			trace.Int("bytes", int64(stats.Bytes)),
+			trace.Float("read_s", float64(readNS.Load())/1e9),
+			trace.Float("parse_s", float64(parseNS.Load())/1e9),
+		)
+		psp.Fail(err)
+		psp.End()
+	}
 	return out.added, stats.Malformed, err
 }
 
@@ -509,6 +617,15 @@ func (st *Store) Current() *Snapshot { return st.snap.Load() }
 // ever accessed concurrently. Ingestion keeps flowing on the other
 // shards while one shard merges.
 func (st *Store) Refresh() (*Snapshot, error) {
+	return st.RefreshCtx(context.Background())
+}
+
+// RefreshCtx is Refresh inside a traced context: each shard's merge
+// becomes a "snapshot.shard" child span. Without a span in ctx the cut
+// is traced as its own background "snapshot.cut" trace (when the store
+// has a tracer), so periodic snapshot cost shows up in the flight
+// recorder too.
+func (st *Store) RefreshCtx(ctx context.Context) (*Snapshot, error) {
 	st.refreshMu.Lock()
 	defer st.refreshMu.Unlock()
 	st.mu.RLock()
@@ -521,19 +638,28 @@ func (st *Store) Refresh() (*Snapshot, error) {
 		st.mu.RUnlock()
 		return nil, err
 	}
+	sp := trace.FromContext(ctx)
+	cut := sp.Child("snapshot.cut")
+	if sp == nil {
+		cut = st.tracer.Root("snapshot.cut")
+	}
 	t0 := time.Now()
 	var records uint64
 	var meta timewin.Meta
-	for _, sh := range st.shards {
+	for i, sh := range st.shards {
 		done := make(chan struct{})
+		ssp := cut.Child("snapshot.shard")
+		ssp.SetAttrs(trace.Int("shard", int64(i)))
 		sh.msgs <- shardMsg{op: func(p *timewin.Partition, observed *uint64) {
 			p.AllInto(fresh.Engine)
 			timewin.MergeMeta(&meta, p.Meta())
 			records += *observed
-		}, done: done}
+		}, done: done, span: ssp}
 		<-done
 	}
 	st.mu.RUnlock()
+	cut.SetAttrs(trace.Int("records", int64(records)))
+	cut.End()
 	snap := &Snapshot{
 		An:      fresh,
 		Seq:     st.seq.Add(1),
@@ -565,14 +691,33 @@ var ErrClosed = errors.New("serve: store is closed")
 // op observes that shard's state at its current stream position, like
 // Refresh). Returns ErrClosed on a closed store.
 func (st *Store) shardOps(op func(p *timewin.Partition, observed *uint64)) error {
+	return st.shardOpsSpan(nil, "", func(_ int, _ *trace.Span, p *timewin.Partition, observed *uint64) {
+		op(p, observed)
+	})
+}
+
+// shardOpsSpan is shardOps under a parent span: when sp is non-nil each
+// shard's op gets a child span named name (attrs: shard index) that
+// covers queue wait plus execution, with a "dequeued" event at pickup —
+// the per-shard attribution a slow query trace needs. The op receives
+// its shard's child span (nil untraced) to attach result attrs.
+func (st *Store) shardOpsSpan(sp *trace.Span, name string, op func(shard int, sp *trace.Span, p *timewin.Partition, observed *uint64)) error {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if st.closed {
 		return ErrClosed
 	}
-	for _, sh := range st.shards {
+	for i, sh := range st.shards {
+		i := i
 		done := make(chan struct{})
-		sh.msgs <- shardMsg{op: op, done: done}
+		var child *trace.Span
+		if sp != nil {
+			child = sp.Child(name)
+			child.SetAttrs(trace.Int("shard", int64(i)))
+		}
+		sh.msgs <- shardMsg{op: func(p *timewin.Partition, observed *uint64) {
+			op(i, child, p, observed)
+		}, done: done, span: child}
 		<-done
 	}
 	return nil
@@ -584,20 +729,33 @@ func (st *Store) shardOps(op func(p *timewin.Partition, observed *uint64)) error
 // exact all-time view (tail included); a window that begins inside the
 // compacted tail fails with *timewin.RetentionError.
 func (st *Store) Range(w timewin.Window) (*core.Analyzer, timewin.Coverage, error) {
+	return st.RangeCtx(context.Background(), w)
+}
+
+// RangeCtx is Range inside a traced request: each shard's bucket merge
+// becomes a "range.shard" child span carrying the shard index and the
+// buckets/records it merged, so a slow range query's trace shows which
+// shard (and which stage — queue wait vs merge) ate the time.
+func (st *Store) RangeCtx(ctx context.Context, w timewin.Window) (*core.Analyzer, timewin.Coverage, error) {
 	fresh, err := core.NewAnalyzerFor(st.cfg.Options, st.cfg.Metrics...)
 	if err != nil {
 		return nil, timewin.Coverage{}, err
 	}
 	var cov timewin.Coverage
 	var rerr error
-	err = st.shardOps(func(p *timewin.Partition, _ *uint64) {
+	err = st.shardOpsSpan(trace.FromContext(ctx), "range.shard", func(shard int, ssp *trace.Span, p *timewin.Partition, _ *uint64) {
+		if st.rangeStall != nil {
+			st.rangeStall(shard)
+		}
 		c, err := p.RangeInto(fresh.Engine, w)
 		if err != nil {
+			ssp.Fail(err)
 			if rerr == nil {
 				rerr = err
 			}
 			return
 		}
+		ssp.SetAttrs(trace.Int("buckets", int64(c.Buckets)), trace.Int("records", int64(c.Records)))
 		cov.Extend(c)
 	})
 	if err == nil {
@@ -630,6 +788,13 @@ const maxSeriesWindows = 1024
 // an open To ends after the newest. An explicit From inside the tail
 // fails with *timewin.RetentionError.
 func (st *Store) RangeSeries(w timewin.Window, step int64) ([]RangeWindow, error) {
+	return st.RangeSeriesCtx(context.Background(), w, step)
+}
+
+// RangeSeriesCtx is RangeSeries inside a traced request; per-shard
+// merges span exactly like RangeCtx (one "range.shard" child per shard
+// covers all that shard's sub-window merges).
+func (st *Store) RangeSeriesCtx(ctx context.Context, w timewin.Window, step int64) ([]RangeWindow, error) {
 	if step <= 0 || step%st.bucketSecs != 0 {
 		return nil, fmt.Errorf("serve: step must be a positive multiple of the bucket width (%ds)", st.bucketSecs)
 	}
@@ -680,17 +845,25 @@ func (st *Store) RangeSeries(w timewin.Window, step int64) ([]RangeWindow, error
 		wins = append(wins, RangeWindow{Window: timewin.Window{From: s, To: e}, An: an})
 	}
 	var rerr error
-	err = st.shardOps(func(p *timewin.Partition, _ *uint64) {
+	err = st.shardOpsSpan(trace.FromContext(ctx), "range.shard", func(shard int, ssp *trace.Span, p *timewin.Partition, _ *uint64) {
+		if st.rangeStall != nil {
+			st.rangeStall(shard)
+		}
+		var buckets, records int64
 		for i := range wins {
 			c, err := p.RangeInto(wins[i].An.Engine, wins[i].Window)
 			if err != nil {
+				ssp.Fail(err)
 				if rerr == nil {
 					rerr = err
 				}
 				return
 			}
+			buckets += int64(c.Buckets)
+			records += int64(c.Records)
 			wins[i].Coverage.Extend(c)
 		}
+		ssp.SetAttrs(trace.Int("buckets", buckets), trace.Int("records", records))
 	})
 	if err == nil {
 		err = rerr
@@ -744,8 +917,17 @@ func (st *Store) Stats() Stats {
 	if st.reg != nil {
 		out.Obs = st.reg.Snapshot()
 	}
+	out.Build = obs.ReadBuild()
+	if st.tracer != nil {
+		ts := st.tracer.Recorder().Stats()
+		ts.SlowThresholdMS = float64(st.tracer.Slow()) / float64(time.Millisecond)
+		out.Trace = ts
+	}
 	return out
 }
+
+// Tracer returns the store's tracer (nil when tracing is disabled).
+func (st *Store) Tracer() *trace.Tracer { return st.tracer }
 
 // Close stops the background builder and the shard goroutines. Add
 // becomes a no-op; the last published snapshot keeps serving.

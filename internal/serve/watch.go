@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"time"
+
+	"syriafilter/internal/obs/trace"
 )
 
 // WatchDir polls dir every interval and block-ingests files it has not
@@ -114,6 +117,23 @@ func (w *watcher) poll(now time.Time) {
 	w.nextScan = time.Time{}
 
 	ingested := false
+	// One trace per poll round that attempts work: idle rounds (nothing
+	// new, everything still growing) stay trace-free so a quiet watcher
+	// does not dilute the flight recorder's sampled ring. The root is
+	// created lazily at the first ingest attempt.
+	var (
+		psp       *trace.Span
+		pollCtx   = context.Background()
+		pollFiles int64
+	)
+	pollSpan := func() *trace.Span {
+		if psp == nil {
+			psp = w.st.tracer.Root("watch.poll")
+			psp.SetAttrs(trace.Str("dir", w.dir))
+			pollCtx = trace.NewContext(pollCtx, psp)
+		}
+		return psp
+	}
 	present := make(map[string]bool, len(entries))
 	for _, e := range entries {
 		if e.IsDir() {
@@ -139,13 +159,16 @@ func (w *watcher) poll(now time.Time) {
 			w.sizes[path] = info.Size() // first sighting or still growing
 			continue
 		}
-		added, malformed, err := w.st.IngestFiles([]string{path}, 0)
+		pollSpan()
+		added, malformed, err := w.st.IngestFilesCtx(pollCtx, []string{path}, 0)
 		if err != nil {
+			psp.Fail(err)
 			w.st.logger.Warn("watch ingest failed, will retry",
 				"path", path, "err", err, "retry_in", w.bump(path, now))
 			delete(w.sizes, path) // restart the stability window
 			continue
 		}
+		pollFiles++
 		delete(w.fails, path)
 		w.seen[path] = true
 		delete(w.sizes, path)
@@ -171,8 +194,13 @@ func (w *watcher) poll(now time.Time) {
 		}
 	}
 	if ingested {
-		if _, err := w.st.Refresh(); err != nil {
+		if _, err := w.st.RefreshCtx(pollCtx); err != nil {
+			psp.Fail(err)
 			w.st.logger.Warn("watch snapshot failed", "err", err)
 		}
+	}
+	if psp != nil {
+		psp.SetAttrs(trace.Int("files", pollFiles))
+		psp.End()
 	}
 }

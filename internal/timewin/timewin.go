@@ -149,6 +149,14 @@ type PartitionObs struct {
 	// least one bucket into the tail, with the number of buckets merged
 	// and the pass's wall-clock duration in seconds.
 	OnCompact func(buckets int, seconds float64)
+	// OnRangeMerge, when non-nil, is called after each RangeInto that
+	// merged at least one bucket (or the tail), with the bucket-merge
+	// count, the records covered and the merge's wall-clock duration in
+	// seconds. Like OnCompact it fires on the goroutine that owns the
+	// partition — internal/serve's shard goroutines — so the hook must
+	// be safe for concurrent use across partitions. This is the
+	// per-shard cost signal behind range-query latency attribution.
+	OnRangeMerge func(buckets int, records uint64, seconds float64)
 }
 
 // Config configures a Partition.
@@ -467,6 +475,10 @@ func (p *Partition) AllInto(dst *core.Engine) {
 // merged, so dst is untouched on error.
 func (p *Partition) RangeInto(dst *core.Engine, w Window) (Coverage, error) {
 	var cov Coverage
+	var t0 time.Time
+	if p.obs != nil && p.obs.OnRangeMerge != nil {
+		t0 = time.Now()
+	}
 	if p.tail != nil && p.tailRecords > 0 {
 		tailFrom := p.tailMin * p.bucketSecs
 		tailTo := (p.tailMax + 1) * p.bucketSecs
@@ -487,6 +499,9 @@ func (p *Partition) RangeInto(dst *core.Engine, w Window) (Coverage, error) {
 		b := p.live[idx]
 		dst.Merge(b.eng)
 		cov.Extend(Coverage{FromUnix: from, ToUnix: to, Buckets: 1, Records: b.records})
+	}
+	if (cov.Buckets > 0 || cov.Tail) && p.obs != nil && p.obs.OnRangeMerge != nil {
+		p.obs.OnRangeMerge(cov.Buckets, cov.Records, time.Since(t0).Seconds())
 	}
 	return cov, nil
 }

@@ -24,8 +24,13 @@ RAW=$(mktemp)
 RAWCPU=$(mktemp)
 trap 'rm -f "$RAW" "$RAWCPU"' EXIT
 
+# Every result file is stamped with the VCS revision it measured and a
+# UTC timestamp, so a regression hunt can line numbers up with commits.
+REV=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+NOW=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
 go test -run '^$' \
-  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint|BenchmarkObsOverhead' \
+  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint|BenchmarkObsOverhead|BenchmarkTraceOverhead' \
   -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 go test -run '^$' -bench 'BenchmarkIngestEndToEnd' -cpu 1,4 \
@@ -33,7 +38,7 @@ go test -run '^$' -bench 'BenchmarkIngestEndToEnd' -cpu 1,4 \
 
 # Convert `go test -bench` lines into one JSON array: the main run with
 # the "-N" GOMAXPROCS suffix stripped, the -cpu rerun named ".../cpu=N".
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$BENCHTIME" '
+awk -v date="$NOW" -v rev="$REV" -v benchtime="$BENCHTIME" '
 function record(name,    i, bytes, allocs, mbs) {
   bytes = "null"; allocs = "null"; mbs = "null"
   for (i = 4; i <= NF; i++) {
@@ -64,6 +69,8 @@ fileno == 1 {
 END {
   print "{"
   printf "  \"date\": \"%s\",\n", date
+  printf "  \"recorded_at\": \"%s\",\n", date
+  printf "  \"vcs_revision\": \"%s\",\n", rev
   printf "  \"benchtime\": \"%s\",\n", benchtime
   print "  \"benchmarks\": ["
   for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n-1 ? "," : "")
@@ -79,4 +86,5 @@ SERVE_DURATION="${SERVE_DURATION:-5s}"
 SERVE_TARGET_MB="${SERVE_TARGET_MB:-16}"
 go test ./test/e2e -run TestLoadSmoke \
   -load.duration "$SERVE_DURATION" -load.target-mb "$SERVE_TARGET_MB" \
+  -load.revision "$REV" \
   -load.out "$(pwd)/BENCH_serve.json" -v

@@ -118,6 +118,14 @@ func TestChaos(t *testing.T) {
 		if restored < m.acked {
 			reingest(restored, m.acked)
 		}
+		// The flight recorder must come back readable after every kind of
+		// restart (graceful, kill, corrupted checkpoint): traces do not
+		// survive the process, but the endpoint and its JSON shape must.
+		if code, body := d.get("/debug/traces"); code != 200 {
+			t.Fatalf("%s: GET /debug/traces after restart: status %d body %.200s", why, code, body)
+		} else if !json.Valid(body) {
+			t.Fatalf("%s: GET /debug/traces after restart: invalid JSON: %.200s", why, body)
+		}
 		converge(why)
 	}
 

@@ -94,6 +94,15 @@ func startDaemon(t *testing.T, cfg daemonConfig) *daemon {
 			// between the two requests.
 			if !gateChecked {
 				code, _ := d.post("/v1/snapshot", nil, false)
+				// The flight recorder is deliberately NOT gated: it exists
+				// to diagnose a daemon in exactly this state, so it must
+				// answer 200 (with valid JSON) while /readyz still 503s.
+				tcode, tbody := d.get("/debug/traces")
+				if tcode != 200 {
+					t.Errorf("GET /debug/traces while not ready: status %d, want 200", tcode)
+				} else if !json.Valid(tbody) {
+					t.Errorf("GET /debug/traces while not ready: invalid JSON: %.200s", tbody)
+				}
 				if still, err2 := http.Get(d.url + "/readyz"); err2 == nil {
 					if still.StatusCode != 200 && code != http.StatusServiceUnavailable {
 						t.Errorf("POST /v1/snapshot while not ready: status %d, want 503", code)
@@ -141,6 +150,19 @@ func (d *daemon) term() {
 	d.t.Helper()
 	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		d.t.Fatalf("SIGTERM: %v", err)
+	}
+	// While draining (between SIGTERM and listener close) the flight
+	// recorder must stay readable — that is when an operator reaches for
+	// it. The race with the listener actually closing is tolerated as a
+	// transport error (status 0), but a live answer must be a valid 200.
+	if resp, err := http.Get(d.url + "/debug/traces"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			d.t.Errorf("GET /debug/traces while draining: status %d, want 200", resp.StatusCode)
+		} else if !json.Valid(body) {
+			d.t.Errorf("GET /debug/traces while draining: invalid JSON: %.200s", body)
+		}
 	}
 	select {
 	case err := <-d.exited:

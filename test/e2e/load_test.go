@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -29,6 +31,24 @@ type loadResult struct {
 	IngestP99S     float64 `json:"ingest_p99_s"`
 	ShedTotal      float64 `json:"shed_total"`
 	RaceInstrument bool    `json:"race_instrumented"`
+	// Provenance: which commit produced these numbers, and when — so a
+	// regression hunt can line BENCH_serve.json up with git history.
+	VCSRevision string `json:"vcs_revision"`
+	RecordedAt  string `json:"recorded_at"`
+}
+
+// benchRevision resolves the revision stamped into the result:
+// -load.revision wins (scripts/bench.sh passes it), otherwise git is
+// asked directly, with "unknown" as the no-git fallback.
+func benchRevision() string {
+	if *loadRevision != "" {
+		return *loadRevision
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // TestLoadSmoke is the closed-loop load probe: one producer streams
@@ -144,6 +164,8 @@ func TestLoadSmoke(t *testing.T) {
 		IngestP99S:     histQuantile(after, "http_request_seconds", "/v1/ingest", 0.99),
 		ShedTotal:      metricValue(after, "censord_ingest_shed_total"),
 		RaceInstrument: raceEnabled,
+		VCSRevision:    benchRevision(),
+		RecordedAt:     time.Now().UTC().Format(time.RFC3339),
 	}
 
 	if res.IngestMBPerS <= 0 {
