@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/csv"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -824,4 +825,54 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		run(b, trace.New(trace.Config{Slow: trace.DefaultSlow}))
 	})
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+}
+
+// BenchmarkDocCache quantifies the read paths PR "read-path caching"
+// trades between: cold is the pre-cache behavior (every GET renders the
+// experiment from the snapshot), hit serves the cached bytes, and
+// etag-304 revalidates with If-None-Match — no render, no body. The CI
+// bench-smoke gate holds hit to >= 10x cold; byte-identity between the
+// arms is pinned by TestDocCacheByteIdentity in internal/serve.
+func BenchmarkDocCache(b *testing.B) {
+	f := fixture(b)
+	store, err := serve.NewStore(serve.Config{Options: benchOpts(f), Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := store.Add(f.records); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+
+	const path = "/v1/tables/4"
+	run := func(b *testing.B, srv *serve.Server, inm string, want int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("GET", path, nil)
+			if inm != "" {
+				req.Header.Set("If-None-Match", inm)
+			}
+			rw := httptest.NewRecorder()
+			srv.ServeHTTP(rw, req)
+			if rw.Code != want {
+				b.Fatalf("status %d, want %d: %.200s", rw.Code, want, rw.Body.String())
+			}
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		srv := serve.NewServer(store, f.gen, serve.WithDocCacheBytes(0))
+		run(b, srv, "", 200)
+	})
+	srv := serve.NewServer(store, f.gen)
+	warm := httptest.NewRecorder()
+	srv.ServeHTTP(warm, httptest.NewRequest("GET", path, nil))
+	if warm.Code != 200 || warm.Header().Get("ETag") == "" {
+		b.Fatalf("warmup: status %d, etag %q", warm.Code, warm.Header().Get("ETag"))
+	}
+	b.Run("hit", func(b *testing.B) { run(b, srv, "", 200) })
+	b.Run("etag-304", func(b *testing.B) { run(b, srv, warm.Header().Get("ETag"), 304) })
 }

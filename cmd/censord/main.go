@@ -27,7 +27,21 @@
 //	curl localhost:8080/v1/figures/8?format=text
 //	curl 'localhost:8080/v1/range/table4?from=2011-08-01&to=2011-08-04'
 //	curl 'localhost:8080/v1/range/fig5?from=2011-08-01&to=2011-08-07&step=24h'
+//	curl 'localhost:8080/v1/sync?ids=table4&timeout=30s'   # long-poll for changes
 //	curl -X POST --data-binary @more.csv localhost:8080/v1/ingest?refresh=1
+//
+// The read path is cost-proportional to change, not to poll rate:
+// rendered doc/range responses are cached by snapshot generation
+// (-doc-cache-bytes budgets the cache; censord_doccache_* meters it),
+// every doc endpoint serves a strong ETag and answers If-None-Match
+// revalidation with a body-less 304, responses gzip on
+// Accept-Encoding, and GET /v1/sync long-polls for changes: it parks
+// (bounded by -sync-max-parked, 429 beyond) until a snapshot cut
+// changes something, then returns only the changed experiments — as
+// row-level deltas when possible — plus a resume token. Background
+// snapshot ticks that find no new records do not bump the generation,
+// so an idle daemon serves entirely from cache and keeps pollers
+// parked.
 //
 // The HTTP listener comes up immediately; checkpoint restore and boot
 // ingest run behind it with /readyz reporting "restoring" then
@@ -116,6 +130,8 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		debugAddr  = flag.String("debug-addr", "", "optional listen address serving /debug/pprof on its own listener (empty = disabled)")
 		maxBody    = flag.Int64("max-body", 64<<20, "maximum POST /v1/ingest body size in wire bytes, 413 beyond it (0 = unbounded)")
+		docCache   = flag.Int64("doc-cache-bytes", serve.DefaultDocCacheBytes, "rendered-doc cache budget: encoded doc/range responses are cached per snapshot generation and served as memcpy (0 = render every request)")
+		syncParked = flag.Int("sync-max-parked", serve.DefaultSyncMaxParked, "maximum concurrently parked GET /v1/sync long-polls; excess polls shed with 429 + Retry-After")
 		shedAfter  = flag.Duration("shed-after", serve.DefaultAddTimeout, "ingest load-shedding deadline: a shard queue full past this sheds the request with 429 instead of blocking the handler (negative = block forever)")
 		readTO     = flag.Duration("http-read-timeout", 5*time.Minute, "http.Server read timeout (covers the whole request body)")
 		writeTO    = flag.Duration("http-write-timeout", 5*time.Minute, "http.Server write timeout")
@@ -268,6 +284,7 @@ func main() {
 
 	opts := []serve.ServerOption{
 		serve.WithLogger(logger), serve.WithReadiness(ready), serve.WithMaxBody(*maxBody),
+		serve.WithDocCacheBytes(*docCache), serve.WithSyncMaxParked(*syncParked),
 	}
 	if *ckptDir != "" {
 		dir := *ckptDir

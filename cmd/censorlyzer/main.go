@@ -37,7 +37,6 @@ package main
 
 import (
 	"compress/gzip"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -169,7 +168,6 @@ func main() {
 	}
 
 	cx := render.Context{An: an, Gen: gen}
-	enc := json.NewEncoder(os.Stdout)
 	ran := 0
 	for _, id := range render.Order() {
 		if !all && !selected[id] {
@@ -181,9 +179,14 @@ func main() {
 		}
 		ran++
 		if *jsonOut {
-			// One document per line — the byte encoding cmd/censord's
-			// /v1/experiments/{id} endpoint serves.
-			if err := enc.Encode(doc); err != nil {
+			// One document per line — render.EncodeJSON is the shared
+			// encoder, so this is byte-identical to what cmd/censord's
+			// /v1/experiments/{id} endpoint serves (and caches).
+			b, err := render.EncodeJSON(doc)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := os.Stdout.Write(b); err != nil {
 				fatal(err)
 			}
 			continue

@@ -84,6 +84,18 @@ func (c Cell) jsonValue() any {
 	}
 }
 
+// RowJSON encodes row i exactly as MarshalJSON renders it inside
+// "rows", so callers can diff tables row by row (render.Diff) without
+// re-encoding whole documents.
+func (t *Table) RowJSON(i int) ([]byte, error) {
+	r := t.rows[i]
+	row := make([]any, len(r))
+	for j, c := range r {
+		row[j] = c.jsonValue()
+	}
+	return json.Marshal(row)
+}
+
 // MarshalJSON encodes the table as {"title", "headers", "rows"} with
 // typed row values.
 func (t *Table) MarshalJSON() ([]byte, error) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +30,7 @@ type storeMetrics struct {
 	shed         *obs.Counter
 
 	snapshots       *obs.Counter
+	snapshotSkips   *obs.Counter
 	snapshotSeconds *obs.Histogram
 
 	rangeMerges       *obs.Counter
@@ -69,6 +71,9 @@ func newStoreMetrics(r *obs.Registry) storeMetrics {
 
 		snapshots: r.Counter("censord_snapshot_cuts_total",
 			"Snapshot rebuilds (Refresh calls that completed)."),
+		snapshotSkips: r.Counter("censord_snapshot_skips_total",
+			"Refresh calls that found no new records and kept the published "+
+				"snapshot (Seq unchanged, so doc-cache keys and sync tokens stay put)."),
 		snapshotSeconds: r.Histogram("censord_snapshot_build_seconds",
 			"Snapshot build duration.", nil),
 
@@ -212,6 +217,48 @@ func (st *Store) registerObsFuncs(r *obs.Registry) {
 		func() float64 { _, b := logfmt.InternStats(); return float64(b) })
 }
 
+// readMetrics holds the read-path instruments: the rendered-doc cache
+// and /v1/sync long-polling. Like storeMetrics, the zero value is a
+// complete set of nil-receiver no-ops, so a Server over an
+// uninstrumented store carries the same code path.
+type readMetrics struct {
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheBytes     *obs.Gauge
+
+	syncParked   *obs.Counter
+	syncWakeups  *obs.Counter
+	syncTimeouts *obs.Counter
+	syncShed     *obs.Counter
+	syncWait     *obs.Histogram
+}
+
+func newReadMetrics(r *obs.Registry) readMetrics {
+	return readMetrics{
+		cacheHits: r.Counter("censord_doccache_hits_total",
+			"Rendered-doc cache hits, If-None-Match 304 revalidations included "+
+				"(both skip the render entirely)."),
+		cacheMisses: r.Counter("censord_doccache_misses_total",
+			"Rendered-doc cache misses (a full render ran)."),
+		cacheEvictions: r.Counter("censord_doccache_evictions_total",
+			"Entries evicted from the rendered-doc cache to stay under -doc-cache-bytes."),
+		cacheBytes: r.Gauge("censord_doccache_bytes",
+			"Bytes held by the rendered-doc cache (bodies plus bookkeeping)."),
+
+		syncParked: r.Counter("censord_sync_parked_total",
+			"/v1/sync long-polls parked to wait for a snapshot change."),
+		syncWakeups: r.Counter("censord_sync_wakeups_total",
+			"Parked /v1/sync long-polls woken by a snapshot cut."),
+		syncTimeouts: r.Counter("censord_sync_timeouts_total",
+			"Parked /v1/sync long-polls that reached their timeout with no change."),
+		syncShed: r.Counter("censord_sync_shed_total",
+			"/v1/sync long-polls shed with 429 because -sync-max-parked was reached."),
+		syncWait: r.Histogram("censord_sync_wait_seconds",
+			"Time parked /v1/sync long-polls spent waiting, whatever ended the wait.", nil),
+	}
+}
+
 // sketchSizes samples one module's sketch footprint from the published
 // snapshot (the merged representative of every shard engine).
 func (st *Store) sketchSizes(module string) core.SketchSizes {
@@ -224,6 +271,9 @@ func (st *Store) sketchSizes(module string) core.SketchSizes {
 // *Readiness always reads ready, so wiring it is optional.
 type Readiness struct {
 	state atomic.Pointer[string]
+
+	mu      sync.Mutex
+	changed chan struct{} // closed and replaced on every Set
 }
 
 // NewReadiness builds a readiness signal in the given state.
@@ -233,12 +283,37 @@ func NewReadiness(state string) *Readiness {
 	return r
 }
 
-// Set publishes a new state ("restoring", "loading", "ok", ...).
+// Set publishes a new state ("restoring", "loading", "ok", ...) and
+// wakes everyone parked on Changed — this is what lets a draining
+// daemon unblock its /v1/sync long-polls instead of stalling shutdown.
 func (r *Readiness) Set(state string) {
 	if r == nil {
 		return
 	}
 	r.state.Store(&state)
+	r.mu.Lock()
+	ch := r.changed
+	r.changed = nil
+	r.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// Changed returns a channel closed at the next Set. Callers must
+// re-fetch it after every wakeup (each Set rotates the channel). A nil
+// *Readiness returns nil — a channel that never fires, matching its
+// permanently-"ok" State.
+func (r *Readiness) Changed() <-chan struct{} {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.changed == nil {
+		r.changed = make(chan struct{})
+	}
+	return r.changed
 }
 
 // State returns the current state; nil or unset reads "ok".

@@ -2,16 +2,21 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"syriafilter/internal/core"
@@ -34,6 +39,7 @@ import (
 //	GET  /v1/tables/{id}              tables only; "table4" or bare "4"
 //	GET  /v1/figures/{id}             figures only; "fig8" or bare "8"
 //	GET  /v1/range/{id}               any experiment over ?from&to (&step)
+//	GET  /v1/sync                     incremental long-poll (?since&timeout&ids)
 //	POST /v1/ingest                   CSV log lines (gzip ok) into the store
 //	POST /v1/snapshot                 force a snapshot rebuild
 //	POST /v1/checkpoint               cut a checkpoint now (WithCheckpoint)
@@ -50,6 +56,15 @@ import (
 // obs middleware: per-route request/status-class counters, an in-flight
 // gauge, a latency histogram, and (with WithLogger) a structured access
 // log line per request carrying an X-Request-ID.
+//
+// Read-path caching: doc, range and index responses are cached by
+// content generation (snapshot Seq for docs, a window fingerprint for
+// ranges) in a byte-bounded LRU, served with strong ETags and gzip
+// variants, and revalidated with If-None-Match → 304. GET /v1/sync
+// turns the same generations into incremental long-polling: see
+// handleSync. The invariant throughout is that a cache-served or
+// gzip-served body is byte-identical to a fresh render — keys change
+// whenever the content can.
 type Server struct {
 	store   *Store
 	gen     *synth.Generator
@@ -59,6 +74,24 @@ type Server struct {
 	ready   *Readiness
 	maxBody int64
 	ckptFn  func(ctx context.Context) (CheckpointInfo, error)
+
+	// boot is a per-process nonce prefixed to every ETag and sync
+	// token. Seq restarts from zero with the process, so a validator
+	// that survived a restart could otherwise match fresh state it does
+	// not describe; the nonce makes cross-process validators miss (a
+	// full response / full resync) instead of silently serving stale.
+	boot string
+
+	cacheBytes    int64
+	cache         *docCache
+	readm         readMetrics
+	syncMaxParked int
+	syncWaiting   atomic.Int64
+	tracker       syncTracker
+
+	indexPlain []byte
+	indexGz    []byte
+	indexETag  string
 }
 
 // ServerOption customizes NewServer.
@@ -87,15 +120,42 @@ func WithCheckpoint(fn func(ctx context.Context) (CheckpointInfo, error)) Server
 	return func(s *Server) { s.ckptFn = fn }
 }
 
+// WithDocCacheBytes caps the rendered-doc cache (default
+// DefaultDocCacheBytes; <= 0 disables caching — every request renders
+// fresh, though ETags and 304s still work because they derive from the
+// generation, not the cache).
+func WithDocCacheBytes(n int64) ServerOption { return func(s *Server) { s.cacheBytes = n } }
+
+// WithSyncMaxParked bounds how many /v1/sync long-polls may be parked
+// at once; excess polls are shed with 429 + Retry-After so a poller
+// herd cannot pin unbounded handler goroutines. Default
+// DefaultSyncMaxParked; <= 0 sheds every park attempt (long-polling
+// effectively disabled, ?since still answers immediately when data
+// already changed).
+func WithSyncMaxParked(n int) ServerOption { return func(s *Server) { s.syncMaxParked = n } }
+
 // NewServer wires the routes. gen is the optional ground-truth world;
 // without it the generator-requiring experiments (probing, groundtruth)
 // answer 422.
 func NewServer(store *Store, gen *synth.Generator, opts ...ServerOption) *Server {
-	s := &Server{store: store, gen: gen, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{store: store, gen: gen, mux: http.NewServeMux(), start: time.Now(),
+		boot:       bootNonce(),
+		cacheBytes: DefaultDocCacheBytes, syncMaxParked: DefaultSyncMaxParked}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.tracker.docs = map[string]*docTrack{}
 	reg := store.Registry()
+	if reg != nil {
+		s.readm = newReadMetrics(reg)
+		reg.GaugeFunc("censord_sync_waiting", "/v1/sync long-polls currently parked.",
+			func() float64 { return float64(s.syncWaiting.Load()) })
+	}
+	s.cache = newDocCache(s.cacheBytes, docCacheMetrics{
+		hits: s.readm.cacheHits, misses: s.readm.cacheMisses,
+		evictions: s.readm.cacheEvictions, bytes: s.readm.cacheBytes,
+	})
+	s.buildIndex()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		if reg == nil {
 			s.mux.Handle(pattern, h)
@@ -111,6 +171,7 @@ func NewServer(store *Store, gen *synth.Generator, opts ...ServerOption) *Server
 	handle("GET /v1/tables/{id}", "/v1/tables/{id}", s.handleTable)
 	handle("GET /v1/figures/{id}", "/v1/figures/{id}", s.handleFigure)
 	handle("GET /v1/range/{id}", "/v1/range/{id}", s.handleRange)
+	handle("GET /v1/sync", "/v1/sync", s.handleSync)
 	handle("POST /v1/ingest", "/v1/ingest", s.handleIngest)
 	handle("POST /v1/snapshot", "/v1/snapshot", s.handleSnapshot)
 	handle("POST /v1/checkpoint", "/v1/checkpoint", s.handleCheckpoint)
@@ -184,7 +245,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+// buildIndex precomputes the experiment index once at construction:
+// the renderer registry and module mapping are immutable after boot,
+// so GET /v1/experiments serves frozen bytes (plain and gzip) with a
+// content-hash ETag.
+func (s *Server) buildIndex() {
 	type entry struct {
 		ID      string   `json:"id"`
 		Kind    string   `json:"kind"`
@@ -199,7 +264,110 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, entry{ID: id, Kind: render.Kind(id), Title: render.Title(id), Modules: mods})
 	}
-	writeJSON(w, http.StatusOK, out)
+	body, err := render.EncodeJSON(out)
+	if err != nil {
+		// Unreachable for the static registry; keep the handler failing
+		// loudly rather than panicking the constructor.
+		return
+	}
+	s.indexPlain = body
+	s.indexGz = gzipBytes(body)
+	h := fnv.New64a()
+	h.Write(body)
+	// Content-derived, deliberately without the boot nonce: identical
+	// builds serve identical indexes, so cross-restart 304s are sound
+	// here.
+	s.indexETag = `"idx-` + strconv.FormatUint(h.Sum64(), 36) + `"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if s.indexPlain == nil {
+		writeError(w, http.StatusInternalServerError, "experiment index unavailable")
+		return
+	}
+	w.Header().Set("Vary", "Accept-Encoding")
+	w.Header().Set("ETag", s.indexETag)
+	if etagMatch(r.Header.Get("If-None-Match"), s.indexETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body := s.indexPlain
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		body = s.indexGz
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// bootNonce builds the per-process validator prefix (see Server.boot).
+func bootNonce() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d.%d", os.Getpid(), time.Now().UnixNano())
+	return strconv.FormatUint(h.Sum64(), 36)
+}
+
+// etagFor derives the strong ETag of one cached response variant. The
+// key's generation component only changes when the content can, so
+// equality of ETags implies byte-equality of bodies — within one
+// process life; the boot nonce keeps validators from leaking across
+// restarts, where Seq resets.
+func (s *Server) etagFor(k docKey) string {
+	parts := []string{s.boot, strconv.FormatUint(k.gen, 36), k.id, k.window, k.format}
+	if k.gzip {
+		parts = append(parts, "gz")
+	}
+	return `"` + strings.Join(parts, ".") + `"`
+}
+
+// etagMatch implements If-None-Match: a comma-separated list of
+// entity tags (weak prefixes tolerated, compared strongly) or "*".
+func etagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the client asked for gzip responses.
+// Deliberately simple: a "gzip" token anywhere in Accept-Encoding that
+// is not explicitly disabled with q=0.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(enc) != "gzip" {
+			continue
+		}
+		if hasQ {
+			if v := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(q), "q=")); v == "0" || v == "0.0" || v == "0.00" || v == "0.000" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// gzipBytes compresses b at the default level. gzip output for a given
+// input is deterministic (the header carries no mod time), so cached
+// and fresh gzip variants stay byte-identical.
+func gzipBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(b)
+	zw.Close()
+	return buf.Bytes()
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
@@ -249,6 +417,12 @@ func (s *Server) gateServing(w http.ResponseWriter) bool {
 // `censorlyzer -json`). With step it renders one Doc per step-sized
 // sub-window and returns a Series. Ranges that begin inside the
 // compacted retention tail answer 422 with the horizon.
+//
+// Range responses cache under a window-content fingerprint instead of
+// the snapshot Seq (range queries read the live partitions, not the
+// snapshot): see rangeFingerprint. A fully-frozen window — no records
+// arriving inside it — therefore keeps hitting across snapshot
+// generations, and its ETag keeps revalidating.
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if s.gateServing(w) {
 		return
@@ -264,57 +438,150 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	var step int64
 	if stepStr := q.Get("step"); stepStr != "" {
-		step, err := timewin.ParseStep(stepStr)
-		if err != nil {
+		if step, err = timewin.ParseStep(stepStr); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		s.serveRangeSeries(w, r, id, win, step)
-		return
+	}
+	format := "json"
+	if q.Get("format") == "text" {
+		format = "text"
+	}
+	gz := acceptsGzip(r)
+
+	fp, cacheable := s.rangeFingerprint(r.Context(), win)
+	var key docKey
+	var etag string
+	if cacheable {
+		key = docKey{gen: fp, id: id,
+			window: fmt.Sprintf("%d:%d:%d", win.From, win.To, step),
+			format: format, gzip: gz}
+		etag = s.etagFor(key)
+		w.Header().Set("Vary", "Accept-Encoding")
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			// The fingerprint is content-derived, so a match proves the
+			// client's body is current even on a cold cache: 304 with
+			// zero merge and zero render.
+			s.readm.cacheHits.Inc()
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		if e := s.cache.get(key); e != nil {
+			s.writeRangeBody(w, e.etag, e.headers, format, gz, e.body)
+			return
+		}
 	}
 
+	// Miss (or uncacheable): run the real query.
+	var body []byte
+	var hdrs [][2]string
+	if step > 0 {
+		body = s.buildRangeSeries(w, r, id, win, step, format)
+	} else {
+		body, hdrs = s.buildRangeDoc(w, r, id, win, format)
+	}
+	if body == nil {
+		return // the builder wrote the error response
+	}
+	gzBody := body
+	if gz {
+		gzBody = gzipBytes(body)
+	}
+	if cacheable {
+		// Verify-then-store: only cache if the window's content did not
+		// move while we merged — the fingerprint sandwich proves the body
+		// corresponds to the key (per-bucket record counts are monotone,
+		// so equal fingerprints before and after bracket an unchanged
+		// window).
+		if fp2, ok := s.rangeFingerprint(r.Context(), win); ok && fp2 == fp {
+			plainKey := key
+			plainKey.gzip = false
+			s.cache.put(plainKey, &docEntry{body: body, etag: s.etagFor(plainKey), headers: hdrs})
+			if gz {
+				s.cache.put(key, &docEntry{body: gzBody, etag: etag, headers: hdrs})
+			}
+		}
+	}
+	s.writeRangeBody(w, etag, hdrs, format, gz, gzBody)
+}
+
+// writeRangeBody writes a 200 range response: optional strong ETag,
+// the X-Range-* coverage headers, content type by format, and the
+// (possibly gzipped) body.
+func (s *Server) writeRangeBody(w http.ResponseWriter, etag string, hdrs [][2]string, format string, gz bool, body []byte) {
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	for _, h := range hdrs {
+		w.Header().Set(h[0], h[1])
+	}
+	if gz {
+		w.Header().Set("Content-Encoding", "gzip")
+	}
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// buildRangeDoc runs the uncached single-doc range query and encodes
+// the response body; on failure it writes the error response itself
+// and returns a nil body.
+func (s *Server) buildRangeDoc(w http.ResponseWriter, r *http.Request, id string, win timewin.Window, format string) ([]byte, [][2]string) {
 	an, cov, err := s.store.RangeCtx(r.Context(), win)
 	if err != nil {
 		s.writeRangeError(w, err)
-		return
+		return nil, nil
 	}
 	rsp := trace.FromContext(r.Context()).Child("render")
 	doc, err := render.Render(id, render.Context{An: an, Gen: s.gen})
 	rsp.End()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return nil, nil
 	}
-	w.Header().Set("X-Range-From", fmt.Sprint(cov.FromUnix))
-	w.Header().Set("X-Range-To", fmt.Sprint(cov.ToUnix))
-	w.Header().Set("X-Range-Records", fmt.Sprint(cov.Records))
-	// Bucket *merges* summed across shards — the query's cost, not the
-	// distinct-bucket layout (/v1/stats reports that).
-	w.Header().Set("X-Range-Buckets", fmt.Sprint(cov.Buckets))
-	if q.Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, doc.Text())
-		return
+	hdrs := [][2]string{
+		{"X-Range-From", fmt.Sprint(cov.FromUnix)},
+		{"X-Range-To", fmt.Sprint(cov.ToUnix)},
+		{"X-Range-Records", fmt.Sprint(cov.Records)},
+		// Bucket *merges* summed across shards — the query's cost, not the
+		// distinct-bucket layout (/v1/stats reports that).
+		{"X-Range-Buckets", fmt.Sprint(cov.Buckets)},
 	}
-	writeJSON(w, http.StatusOK, doc)
+	if format == "text" {
+		return []byte(doc.Text()), hdrs
+	}
+	body, err := render.EncodeJSON(doc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, nil
+	}
+	return body, hdrs
 }
 
-func (s *Server) serveRangeSeries(w http.ResponseWriter, r *http.Request, id string, win timewin.Window, step int64) {
+// buildRangeSeries is buildRangeDoc for ?step= series responses.
+func (s *Server) buildRangeSeries(w http.ResponseWriter, r *http.Request, id string, win timewin.Window, step int64, format string) []byte {
 	wins, err := s.store.RangeSeriesCtx(r.Context(), win, step)
 	if err != nil {
 		s.writeRangeError(w, err)
-		return
+		return nil
 	}
 	rsp := trace.FromContext(r.Context()).Child("render")
 	rsp.SetAttrs(trace.Int("windows", int64(len(wins))))
-	defer rsp.End()
 	series := &render.Series{ID: id, Kind: render.Kind(id), Title: render.Title(id), StepSeconds: step}
 	for _, rw := range wins {
 		doc, err := render.Render(id, render.Context{An: rw.An, Gen: s.gen})
 		if err != nil {
+			rsp.Fail(err)
+			rsp.End()
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
+			return nil
 		}
 		series.Windows = append(series.Windows, render.SeriesWindow{
 			FromUnix: rw.Window.From,
@@ -323,12 +590,57 @@ func (s *Server) serveRangeSeries(w http.ResponseWriter, r *http.Request, id str
 			Doc:      doc,
 		})
 	}
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, series.Text())
-		return
+	rsp.End()
+	if format == "text" {
+		return []byte(series.Text())
 	}
-	writeJSON(w, http.StatusOK, series)
+	body, err := render.EncodeJSON(series)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil
+	}
+	return body
+}
+
+// rangeFingerprint hashes the live content of a window — every bucket
+// intersecting it (start + record count, summed across shards) plus,
+// when the window reaches back to the compacted tail, the tail span
+// and count — into a cache generation. Per-bucket record counts only
+// grow and buckets only ever leave the ring for the tail (changing
+// both sides of the hash), so an equal fingerprint implies an
+// identical merged engine and therefore byte-identical rendered
+// output: the monotonicity argument that makes Seq a sound doc-cache
+// key, applied per bucket. ok=false means the window is not cacheable:
+// the store is closed, or the window starts inside the compacted tail
+// (the query itself will answer 422 with the horizon).
+func (s *Server) rangeFingerprint(ctx context.Context, win timewin.Window) (uint64, bool) {
+	sp := trace.FromContext(ctx).Child("cache.lookup")
+	defer sp.End()
+	meta, err := s.store.liveMeta()
+	if err != nil {
+		return 0, false
+	}
+	if win.From != 0 && meta.TailRecords > 0 && win.From < meta.TailToUnix {
+		return 0, false
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	u := func(v uint64) { binary.LittleEndian.PutUint64(b[:], v); h.Write(b[:]) }
+	u(uint64(meta.BucketSeconds))
+	if win.From == 0 {
+		u(uint64(meta.TailFromUnix))
+		u(uint64(meta.TailToUnix))
+		u(meta.TailRecords)
+	}
+	for _, bk := range meta.Buckets {
+		end := bk.StartUnix + meta.BucketSeconds
+		if (win.From != 0 && end <= win.From) || (win.To != 0 && bk.StartUnix >= win.To) {
+			continue
+		}
+		u(uint64(bk.StartUnix))
+		u(bk.Records)
+	}
+	return h.Sum64(), true
 }
 
 // writeRangeError maps range-query failures: retention violations are
@@ -346,9 +658,13 @@ func (s *Server) writeRangeError(w http.ResponseWriter, err error) {
 	}
 }
 
-// serveDoc renders one experiment against the current (or, with
-// ?fresh=1, a just-rebuilt) snapshot. wantKind restricts the endpoint to
-// tables or figures; "" accepts any experiment.
+// serveDoc serves one experiment against the current (or, with
+// ?fresh=1, a just-rebuilt) snapshot, through the rendered-doc cache:
+// the response is keyed by (Seq, id, format, gzip), revalidated with
+// If-None-Match (304, zero render, zero body — counted as the cheapest
+// kind of cache hit), and byte-identical to a fresh render on every
+// path. wantKind restricts the endpoint to tables or figures; ""
+// accepts any experiment.
 func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind string) {
 	if wantKind != "" && render.Kind(id) != wantKind {
 		writeError(w, http.StatusNotFound, "%s is not a %s id", id, wantKind)
@@ -362,7 +678,26 @@ func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind s
 			return
 		}
 	}
-	doc, err := render.Render(id, render.Context{An: snap.An, Gen: s.gen})
+	format := "json"
+	if r.URL.Query().Get("format") == "text" {
+		format = "text"
+	}
+	gz := acceptsGzip(r)
+	key := docKey{gen: snap.Seq, id: id, format: format, gzip: gz}
+	etag := s.etagFor(key)
+	w.Header().Set("Vary", "Accept-Encoding")
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		// Clients only ever hold ETags from successful responses of this
+		// process life (the boot nonce sees to that), so a match proves
+		// the body they have is current: no render, no body.
+		s.readm.cacheHits.Inc()
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Snapshot-Seq", fmt.Sprint(snap.Seq))
+		w.Header().Set("X-Snapshot-Records", fmt.Sprint(snap.Records))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	e, err := s.cachedDoc(r.Context(), snap, id, format, gz)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if strings.Contains(err.Error(), "unknown experiment id") {
@@ -371,14 +706,69 @@ func (s *Server) serveDoc(w http.ResponseWriter, r *http.Request, id, wantKind s
 		writeError(w, status, "%v", err)
 		return
 	}
+	w.Header().Set("ETag", etag)
 	w.Header().Set("X-Snapshot-Seq", fmt.Sprint(snap.Seq))
 	w.Header().Set("X-Snapshot-Records", fmt.Sprint(snap.Records))
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, doc.Text())
-		return
+	if gz {
+		w.Header().Set("Content-Encoding", "gzip")
 	}
-	writeJSON(w, http.StatusOK, doc)
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(e.body)))
+	w.Write(e.body)
+}
+
+// cachedDoc returns the cached encoding of (snap, id, format, gz),
+// rendering — and for gz, compressing the (likewise cached) plain
+// variant — on miss. Returned entries are byte-identical to a fresh
+// render by construction: keys embed the snapshot Seq, which changes
+// whenever the folded state can. Render errors are returned, never
+// cached.
+func (s *Server) cachedDoc(ctx context.Context, snap *Snapshot, id, format string, gz bool) (*docEntry, error) {
+	key := docKey{gen: snap.Seq, id: id, format: format, gzip: gz}
+	sp := trace.FromContext(ctx).Child("cache.lookup")
+	sp.SetAttrs(trace.Str("id", id), trace.Int("seq", int64(snap.Seq)))
+	if e := s.cache.get(key); e != nil {
+		sp.SetAttrs(trace.Int("hit", 1))
+		sp.End()
+		return e, nil
+	}
+	sp.SetAttrs(trace.Int("hit", 0))
+	sp.End()
+	e := &docEntry{etag: s.etagFor(key)}
+	if gz {
+		plain, err := s.cachedDoc(ctx, snap, id, format, false)
+		if err != nil {
+			return nil, err
+		}
+		e.body = gzipBytes(plain.body)
+	} else {
+		rsp := trace.FromContext(ctx).Child("render")
+		doc, err := render.Render(id, render.Context{An: snap.An, Gen: s.gen})
+		if err != nil {
+			rsp.Fail(err)
+			rsp.End()
+			return nil, err
+		}
+		if format == "text" {
+			e.body = []byte(doc.Text())
+		} else {
+			b, err := render.EncodeJSON(doc)
+			if err != nil {
+				rsp.Fail(err)
+				rsp.End()
+				return nil, err
+			}
+			e.body = b
+			e.doc = doc
+		}
+		rsp.End()
+	}
+	s.cache.put(key, e)
+	return e, nil
 }
 
 // handleIngest accepts a batch of CSV log lines (the 26-field Blue Coat

@@ -226,6 +226,9 @@ type Store struct {
 	ingested  atomic.Uint64
 	refreshMu sync.Mutex // serializes snapshot builds
 
+	syncMu sync.Mutex    // guards syncCh rotation
+	syncCh chan struct{} // closed and replaced at every snapshot publish
+
 	ingestedBytes atomic.Uint64   // raw log bytes through the block paths
 	rate          *obs.RateWindow // windowed byte rate behind ingest_mb_per_s
 
@@ -280,8 +283,8 @@ func NewStore(cfg Config) (*Store, error) {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	st := &Store{cfg: cfg, bucketSecs: int64(cfg.Bucket / time.Second), addTimeout: addTimeout,
-		keepGens: keepGens, logger: logger, start: time.Now(), stop: make(chan struct{}), rate: &obs.RateWindow{},
-		tracer: cfg.Tracer}
+		keepGens: keepGens, logger: logger, start: time.Now(), stop: make(chan struct{}),
+		syncCh: make(chan struct{}), rate: &obs.RateWindow{}, tracer: cfg.Tracer}
 	var twObs *timewin.PartitionObs
 	if !cfg.DisableObs {
 		st.reg = cfg.Registry
@@ -625,6 +628,15 @@ func (st *Store) Refresh() (*Snapshot, error) {
 // is traced as its own background "snapshot.cut" trace (when the store
 // has a tracer), so periodic snapshot cost shows up in the flight
 // recorder too.
+//
+// RefreshCtx is change-aware: when no records arrived since the
+// published snapshot it returns that snapshot without rebuilding, so
+// Seq moves only when the folded state can differ. That property is
+// what keeps the rendered-doc cache hot and /v1/sync long-polls parked
+// across idle background refresh ticks (and makes ?fresh=1 polling
+// nearly free on an idle daemon) — but it also means a skipped Refresh
+// does not touch Built: snapshot_age_s measures time since the data
+// last changed, not since the last Refresh call.
 func (st *Store) RefreshCtx(ctx context.Context) (*Snapshot, error) {
 	st.refreshMu.Lock()
 	defer st.refreshMu.Unlock()
@@ -632,6 +644,28 @@ func (st *Store) RefreshCtx(ctx context.Context) (*Snapshot, error) {
 	if st.closed {
 		st.mu.RUnlock()
 		return st.Current(), nil
+	}
+	// Change detection: one cheap op round summing the shards' observed
+	// counters. Counters only grow and each shard's op runs after every
+	// batch enqueued before it, so an unchanged total proves the shard
+	// streams are at the same prefix the snapshot folded. Seq 0 (the
+	// boot-time empty view) always rebuilds: a restore folds records
+	// without publishing, and callers use the first Refresh to surface
+	// them.
+	if cur := st.Current(); cur.Seq > 0 {
+		var total uint64
+		for _, sh := range st.shards {
+			done := make(chan struct{})
+			sh.msgs <- shardMsg{op: func(_ *timewin.Partition, observed *uint64) {
+				total += *observed
+			}, done: done}
+			<-done
+		}
+		if total == cur.Records {
+			st.mu.RUnlock()
+			st.obsm.snapshotSkips.Inc()
+			return cur, nil
+		}
 	}
 	fresh, err := core.NewAnalyzerFor(st.cfg.Options, st.cfg.Metrics...)
 	if err != nil {
@@ -668,10 +702,38 @@ func (st *Store) RefreshCtx(ctx context.Context) (*Snapshot, error) {
 		Timewin: meta,
 	}
 	st.snap.Store(snap)
+	st.wakeSync()
 	st.obsm.snapshots.Inc()
 	st.obsm.snapshotSeconds.Observe(time.Since(t0).Seconds())
 	return snap, nil
 }
+
+// wakeSync rotates the change-signal channel and closes the old one,
+// waking every parked ChangeSignal waiter. Called after every snapshot
+// publish (the new snapshot is visible to Current before the close, so
+// a waiter that re-checks on wakeup always observes the change).
+func (st *Store) wakeSync() {
+	st.syncMu.Lock()
+	ch := st.syncCh
+	st.syncCh = make(chan struct{})
+	st.syncMu.Unlock()
+	close(ch)
+}
+
+// ChangeSignal returns a channel closed at the next snapshot publish.
+// Waiters must re-fetch it after every wakeup (each publish rotates
+// the channel), and must fetch it *before* reading Current: publish
+// stores the snapshot first and closes the channel second, so
+// fetch-then-check can never miss a change.
+func (st *Store) ChangeSignal() <-chan struct{} {
+	st.syncMu.Lock()
+	defer st.syncMu.Unlock()
+	return st.syncCh
+}
+
+// Done returns a channel closed when the store shuts down, so parked
+// long-polls can bail out instead of stalling Close.
+func (st *Store) Done() <-chan struct{} { return st.stop }
 
 // Registry returns the store's metric registry (nil with DisableObs).
 // Serve it at GET /metrics; Server does this automatically.

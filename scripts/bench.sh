@@ -30,7 +30,7 @@ REV=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 NOW=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 go test -run '^$' \
-  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint|BenchmarkObsOverhead|BenchmarkTraceOverhead' \
+  -bench 'BenchmarkTable|BenchmarkFig|BenchmarkHTTPS|BenchmarkBitTorrent|BenchmarkGoogleCache|BenchmarkAnalyzerObserve|BenchmarkIngestEndToEnd|BenchmarkRangeQuery|BenchmarkCheckpoint|BenchmarkObsOverhead|BenchmarkTraceOverhead|BenchmarkDocCache' \
   -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 go test -run '^$' -bench 'BenchmarkIngestEndToEnd' -cpu 1,4 \

@@ -93,6 +93,31 @@ func TestChaos(t *testing.T) {
 					when, id, len(body), len(want), body, want)
 			}
 		}
+		// A zero-token /v1/sync resync must carry the same bytes the GET
+		// path (and the model) agree on — the tracker renders through the
+		// same cache, so divergence here means the sync path leaks stale
+		// generations across restarts.
+		code, body := d.get("/v1/sync?ids=table4")
+		if code != 200 {
+			t.Fatalf("%s: GET /v1/sync: status %d body %s", when, code, body)
+		}
+		var sr struct {
+			Changed []struct {
+				ID   string          `json:"id"`
+				Full json.RawMessage `json:"full"`
+			} `json:"changed"`
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("%s: decoding /v1/sync: %v (%.200s)", when, err, body)
+		}
+		if len(sr.Changed) != 1 || sr.Changed[0].ID != "table4" {
+			t.Fatalf("%s: zero-token sync returned %d changes, want table4", when, len(sr.Changed))
+		}
+		want := m.doc("table4")
+		if string(sr.Changed[0].Full)+"\n" != string(want) {
+			t.Fatalf("%s: /v1/sync full doc diverged from the batch model\n got: %.300s\nwant: %.300s",
+				when, sr.Changed[0].Full, want)
+		}
 	}
 
 	// restart brings the daemon back with (possibly changed) cfg and

@@ -94,6 +94,10 @@ func startDaemon(t *testing.T, cfg daemonConfig) *daemon {
 			// between the two requests.
 			if !gateChecked {
 				code, _ := d.post("/v1/snapshot", nil, false)
+				// /v1/sync is gated the same way: while restoring it must
+				// answer 503 immediately, never park over half-restored
+				// state (parking would also stall this boot loop).
+				scode, _ := d.get("/v1/sync?timeout=5s")
 				// The flight recorder is deliberately NOT gated: it exists
 				// to diagnose a daemon in exactly this state, so it must
 				// answer 200 (with valid JSON) while /readyz still 503s.
@@ -104,8 +108,13 @@ func startDaemon(t *testing.T, cfg daemonConfig) *daemon {
 					t.Errorf("GET /debug/traces while not ready: invalid JSON: %.200s", tbody)
 				}
 				if still, err2 := http.Get(d.url + "/readyz"); err2 == nil {
-					if still.StatusCode != 200 && code != http.StatusServiceUnavailable {
-						t.Errorf("POST /v1/snapshot while not ready: status %d, want 503", code)
+					if still.StatusCode != 200 {
+						if code != http.StatusServiceUnavailable {
+							t.Errorf("POST /v1/snapshot while not ready: status %d, want 503", code)
+						}
+						if scode != http.StatusServiceUnavailable {
+							t.Errorf("GET /v1/sync while not ready: status %d, want 503", scode)
+						}
 					}
 					still.Body.Close()
 				}
@@ -148,6 +157,25 @@ func (d *daemon) logTail() string {
 // included).
 func (d *daemon) term() {
 	d.t.Helper()
+	// Park a /v1/sync long-poll before signaling: the drain must resolve
+	// it with a terminal answer (503, or data if a cut raced the signal)
+	// instead of letting it pin the shutdown deadline. A transport error
+	// (status 0) is tolerated — the listener closes as the process
+	// exits — but the request must never hang past shutdown.
+	seq := fmt.Sprint(d.snapshotSeq())
+	syncDone := make(chan int, 1)
+	go func() {
+		client := &http.Client{Timeout: 90 * time.Second}
+		resp, err := client.Get(d.url + "/v1/sync?timeout=80s&since=" + seq)
+		if err != nil {
+			syncDone <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		syncDone <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond)
 	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		d.t.Fatalf("SIGTERM: %v", err)
 	}
@@ -172,6 +200,17 @@ func (d *daemon) term() {
 	case <-time.After(60 * time.Second):
 		d.kill()
 		d.t.Fatalf("censord did not exit within 60s of SIGTERM\n%s", d.logTail())
+	}
+	// The process is gone, so the parked poll must have resolved (503
+	// from the drain wakeup, 200 if a cut raced, 0 if the listener
+	// closed under it). Timeouts here mean a poll pinned the drain.
+	select {
+	case code := <-syncDone:
+		if code != 0 && code != 200 && code != http.StatusServiceUnavailable {
+			d.t.Errorf("parked /v1/sync resolved with status %d during drain", code)
+		}
+	case <-time.After(10 * time.Second):
+		d.t.Errorf("parked /v1/sync hung through a graceful shutdown")
 	}
 	d.logTo.Close()
 }
@@ -240,6 +279,46 @@ func (d *daemon) snapshotRecords() uint64 {
 	return h.SnapshotRecords
 }
 
+// snapshotSeq reads /healthz and returns the published snapshot's
+// sequence number — a bare /v1/sync since token for the current state.
+func (d *daemon) snapshotSeq() uint64 {
+	d.t.Helper()
+	code, body := d.get("/healthz")
+	if code != 200 {
+		d.t.Fatalf("GET /healthz: status %d body %s", code, body)
+	}
+	var h struct {
+		SnapshotSeq uint64 `json:"snapshot_seq"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		d.t.Fatalf("decoding /healthz: %v (%s)", err, body)
+	}
+	return h.SnapshotSeq
+}
+
+// getH is get with request headers, also returning the response
+// headers — the conditional-GET workers need both directions.
+func (d *daemon) getH(path string, hdr ...[2]string) (int, []byte, http.Header) {
+	d.t.Helper()
+	req, err := http.NewRequest("GET", d.url+path, nil)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	for _, h := range hdr {
+		req.Header.Set(h[0], h[1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		d.t.Fatalf("GET %s: %v\n%s", path, err, d.logTail())
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
 // metrics scrapes /metrics into a flat series map:
 // "name{label=\"v\"}" (or bare "name") → value.
 func (d *daemon) metrics() map[string]float64 {
@@ -282,9 +361,11 @@ func metricValue(series map[string]float64, family string) float64 {
 	return sum
 }
 
-// histQuantile reads a cumulative-bucket histogram for one route out of
-// a parsed /metrics scrape and returns the upper bound of the bucket
-// containing quantile q (the standard Prometheus-style estimate).
+// histQuantile reads a cumulative-bucket histogram out of a parsed
+// /metrics scrape and returns the upper bound of the bucket containing
+// quantile q (the standard Prometheus-style estimate). route filters to
+// one route label; "" takes every series of the family (for unlabeled
+// histograms like censord_sync_wait_seconds).
 func histQuantile(series map[string]float64, family, route string, q float64) float64 {
 	type bucket struct {
 		le  float64
@@ -293,7 +374,10 @@ func histQuantile(series map[string]float64, family, route string, q float64) fl
 	var buckets []bucket
 	prefix := family + "_bucket{"
 	for k, v := range series {
-		if !strings.HasPrefix(k, prefix) || !strings.Contains(k, `route="`+route+`"`) {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if route != "" && !strings.Contains(k, `route="`+route+`"`) {
 			continue
 		}
 		leStart := strings.Index(k, `le="`)

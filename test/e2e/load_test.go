@@ -31,6 +31,12 @@ type loadResult struct {
 	IngestP99S     float64 `json:"ingest_p99_s"`
 	ShedTotal      float64 `json:"shed_total"`
 	RaceInstrument bool    `json:"race_instrumented"`
+	// Read-path efficiency: doc-cache hits (304 revalidations included)
+	// over hits+misses during the run, and the p95 time /v1/sync
+	// long-polls spent parked before a snapshot cut (or timeout) woke
+	// them.
+	QueryCacheHitRatio float64 `json:"query_cache_hit_ratio"`
+	SyncWakeupP95S     float64 `json:"sync_wakeup_p95_s"`
 	// Provenance: which commit produced these numbers, and when — so a
 	// regression hunt can line BENCH_serve.json up with git history.
 	VCSRevision string `json:"vcs_revision"`
@@ -120,12 +126,16 @@ func TestLoadSmoke(t *testing.T) {
 	}()
 
 	// Query workers: a table and a figure endpoint, plus periodic
-	// snapshot cuts so queries see fresh data.
+	// snapshot cuts so queries see fresh data. Each worker revalidates
+	// with the last ETag it saw — the realistic client shape the doc
+	// cache is built for: between cuts every request is a 304 or a
+	// cache hit, only the first request per generation renders.
 	for _, path := range []string{"/v1/tables/4", "/v1/figures/5"} {
 		path := path
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			etag := ""
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
@@ -135,13 +145,50 @@ func TestLoadSmoke(t *testing.T) {
 				if i%50 == 0 {
 					d.post("/v1/snapshot", nil, false)
 				}
-				if code, body := d.get(path); code != 200 {
+				var hdr [][2]string
+				if etag != "" {
+					hdr = append(hdr, [2]string{"If-None-Match", etag})
+				}
+				code, body, respHdr := d.getH(path, hdr...)
+				if code != 200 && code != 304 {
 					t.Errorf("load query %s: status %d body %s", path, code, body)
 					return
+				}
+				if e := respHdr.Get("ETag"); e != "" {
+					etag = e
 				}
 			}
 		}()
 	}
+
+	// Sync poller: rides the token chain with short long-polls, waking
+	// on the cuts the query workers trigger. Feeds the
+	// censord_sync_wait_seconds histogram behind sync_wakeup_p95_s.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		since := ""
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			code, body, _ := d.getH("/v1/sync?ids=table4&timeout=2s&since=" + since)
+			if code != 200 {
+				t.Errorf("load sync: status %d body %s", code, body)
+				return
+			}
+			var resp struct {
+				Next string `json:"next"`
+			}
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Errorf("load sync: %v (%.200s)", err, body)
+				return
+			}
+			since = resp.Next
+		}
+	}()
 
 	time.Sleep(*loadDuration)
 	close(stop)
@@ -151,12 +198,16 @@ func TestLoadSmoke(t *testing.T) {
 	secs := loadDuration.Seconds()
 	ingestBytes := metricValue(after, "censord_ingest_bytes_total") - metricValue(before, "censord_ingest_bytes_total")
 	res := loadResult{
-		DurationS:      secs,
-		TargetMBPerS:   *loadTargetMB,
-		IngestMBPerS:   ingestBytes / 1e6 / secs,
-		IngestRecords:  metricValue(after, "censord_ingest_records_total"),
-		IngestBatches:  int(sentBatches.Load()),
-		QueryRequests:  metricValue(after, `http_requests_total{route="/v1/tables/{id}",code="2xx"}`) + metricValue(after, `http_requests_total{route="/v1/figures/{id}",code="2xx"}`),
+		DurationS:     secs,
+		TargetMBPerS:  *loadTargetMB,
+		IngestMBPerS:  ingestBytes / 1e6 / secs,
+		IngestRecords: metricValue(after, "censord_ingest_records_total"),
+		IngestBatches: int(sentBatches.Load()),
+		// Revalidations answer 304, so both code classes are query traffic.
+		QueryRequests: metricValue(after, `http_requests_total{route="/v1/tables/{id}",code="2xx"}`) +
+			metricValue(after, `http_requests_total{route="/v1/tables/{id}",code="3xx"}`) +
+			metricValue(after, `http_requests_total{route="/v1/figures/{id}",code="2xx"}`) +
+			metricValue(after, `http_requests_total{route="/v1/figures/{id}",code="3xx"}`),
 		QueryP50S:      histQuantile(after, "http_request_seconds", "/v1/tables/{id}", 0.50),
 		QueryP95S:      histQuantile(after, "http_request_seconds", "/v1/tables/{id}", 0.95),
 		QueryP99S:      histQuantile(after, "http_request_seconds", "/v1/tables/{id}", 0.99),
@@ -164,8 +215,14 @@ func TestLoadSmoke(t *testing.T) {
 		IngestP99S:     histQuantile(after, "http_request_seconds", "/v1/ingest", 0.99),
 		ShedTotal:      metricValue(after, "censord_ingest_shed_total"),
 		RaceInstrument: raceEnabled,
+		SyncWakeupP95S: histQuantile(after, "censord_sync_wait_seconds", "", 0.95),
 		VCSRevision:    benchRevision(),
 		RecordedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	hits := metricValue(after, "censord_doccache_hits_total") - metricValue(before, "censord_doccache_hits_total")
+	misses := metricValue(after, "censord_doccache_misses_total") - metricValue(before, "censord_doccache_misses_total")
+	if hits+misses > 0 {
+		res.QueryCacheHitRatio = hits / (hits + misses)
 	}
 
 	if res.IngestMBPerS <= 0 {
@@ -173,6 +230,13 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if res.QueryRequests == 0 {
 		t.Error("load smoke answered no queries")
+	}
+	// The read path must be cache-dominated under this workload: between
+	// snapshot cuts every revalidation and repeat query should skip the
+	// render entirely.
+	if res.QueryCacheHitRatio < 0.9 {
+		t.Errorf("query cache hit ratio %.3f, want >= 0.9 (hits %.0f, misses %.0f)",
+			res.QueryCacheHitRatio, hits, misses)
 	}
 
 	b, err := json.MarshalIndent(res, "", "  ")
